@@ -1,0 +1,55 @@
+"""Ablation: phase-count optimality of the paper's scheduler.
+
+Compares the scheduler's phase count (provably equal to the bottleneck
+load) against greedy first-fit phase packing over random message
+orders, on the paper's topologies and random trees.  Every extra phase
+is an extra bottleneck-link round, so the ratio directly bounds the
+throughput loss of scheduling without the paper's structure.
+"""
+
+import pytest
+
+from repro.core.naive import random_order_phases
+from repro.core.scheduler import schedule_aapc
+from repro.topology.analysis import aapc_load
+from repro.topology.builder import (
+    random_tree,
+    topology_a,
+    topology_b,
+    topology_c,
+)
+
+
+def test_phase_count_optimality(emit, benchmark):
+    lines = [
+        "phases: paper scheduler (= bottleneck load) vs greedy first-fit",
+        "over random message orders (3 seeds, min/max shown):",
+        "",
+        f"{'topology':>22} {'optimal':>8} {'greedy min':>11} {'greedy max':>11} {'overhead':>9}",
+    ]
+    cases = [
+        ("(a) 24x single switch", topology_a()),
+        ("(b) 32x star", topology_b()),
+        ("(c) 32x chain", topology_c()),
+    ]
+    for seed in (1, 2):
+        cases.append((f"random tree #{seed}", random_tree(14, 6, seed=seed)))
+    for name, topo in cases:
+        optimal = schedule_aapc(topo, verify=False).num_phases
+        assert optimal == aapc_load(topo)
+        greedy = [
+            random_order_phases(topo, seed=s).num_phases for s in (0, 1, 2)
+        ]
+        worst = max(greedy)
+        lines.append(
+            f"{name:>22} {optimal:>8} {min(greedy):>11} {worst:>11} "
+            f"{100 * (worst / optimal - 1):>8.0f}%"
+        )
+        # greedy can never beat the load lower bound
+        assert min(greedy) >= optimal
+    emit("ablation_phase_optimality", "\n".join(lines))
+
+    topo = topology_b()
+    benchmark.pedantic(
+        lambda: schedule_aapc(topo, verify=False), rounds=3, iterations=1
+    )

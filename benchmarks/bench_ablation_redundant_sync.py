@@ -1,0 +1,76 @@
+"""Ablation: redundant synchronization elimination (Section 5).
+
+For the paper's three topologies and a set of random trees, counts the
+synchronization messages (a) for every conflict dependence, (b) after
+program-order elision, and (c) after transitive reduction — the paper's
+"compute and remove redundant synchronizations" step — plus the
+completion-time effect of shipping all the redundant syncs anyway.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cached
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import build_sync_plan
+from repro.harness.experiments import ablation_redundant_sync
+from repro.harness.report import completion_table
+from repro.topology.builder import (
+    random_tree,
+    topology_a,
+    topology_b,
+    topology_c,
+)
+from repro.units import kib
+
+
+def sync_counts(topo):
+    schedule = schedule_aapc(topo, verify=False)
+    full = build_sync_plan(
+        schedule, elide_program_order=False, remove_redundant=False
+    )
+    elided = build_sync_plan(schedule, remove_redundant=False)
+    reduced = build_sync_plan(schedule)
+    return (
+        schedule.num_phases,
+        full.stats.num_conflict_deps,
+        len(elided.syncs),
+        len(reduced.syncs),
+    )
+
+
+def test_redundant_sync_elimination(emit, benchmark):
+    lines = [
+        "sync messages per plan stage (conflict deps -> after program-order",
+        "elision -> after transitive reduction):",
+        "",
+        f"{'topology':>22} {'phases':>7} {'deps':>7} {'elided':>7} {'reduced':>8} {'saved':>6}",
+    ]
+    cases = [
+        ("(a) 24x single switch", topology_a()),
+        ("(b) 32x star", topology_b()),
+        ("(c) 32x chain", topology_c()),
+    ]
+    for seed in (1, 2, 3):
+        cases.append((f"random tree #{seed}", random_tree(12, 5, seed=seed)))
+    for name, topo in cases:
+        phases, deps, elided, reduced = sync_counts(topo)
+        saved = 100 * (1 - reduced / elided) if elided else 0.0
+        lines.append(
+            f"{name:>22} {phases:>7} {deps:>7} {elided:>7} {reduced:>8} {saved:>5.0f}%"
+        )
+        assert reduced <= elided <= deps
+
+    result = run_cached(ablation_redundant_sync, sizes=[kib(64)], repetitions=2)
+    lines += [
+        "",
+        "completion time with vs without redundant-sync elimination",
+        "(topology (b), 64KB):",
+        completion_table(result),
+    ]
+    emit("ablation_redundant_sync", "\n".join(lines))
+
+    topo = topology_b()
+    schedule = schedule_aapc(topo, verify=False)
+    benchmark.pedantic(
+        lambda: build_sync_plan(schedule), rounds=3, iterations=1
+    )

@@ -1,0 +1,51 @@
+"""Ablation: what the pair-wise synchronization buys (Section 5).
+
+Runs the generated schedule on topology (c) under three inter-phase
+disciplines — the paper's pair-wise syncs, a barrier per phase (the
+costly alternative Section 5 rejects), and no synchronization — and a
+LAM reference.  Also reports the runtime link multiplexing, which shows
+the no-sync variant drifting into the very contention the schedule was
+built to avoid.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cached
+from repro.harness.experiments import ablation_sync_modes
+from repro.harness.report import completion_table
+from repro.units import format_size, kib
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cached(ablation_sync_modes, sizes=[kib(32), kib(64), kib(128)])
+
+
+def test_sync_mode_ablation(result, emit, benchmark):
+    lines = [
+        "Generated schedule on topology (c) under three sync disciplines",
+        "",
+        completion_table(result),
+        "",
+        "runtime max link multiplexing (1 = contention-free execution):",
+    ]
+    for msize in result.sizes():
+        cells = [
+            f"{a}: {result.cell(a, msize).max_edge_multiplexing}"
+            for a in result.algorithms()
+        ]
+        lines.append(f"  {format_size(msize):>6}  " + "   ".join(cells))
+    emit("ablation_sync_modes", "\n".join(lines))
+
+    t64 = {a: result.cell(a, kib(64)) for a in result.algorithms()}
+    # pairwise beats the barrier discipline (cheaper synchronization)
+    assert t64["generated"].mean_time < t64["generated-barrier"].mean_time
+    # pairwise execution stays contention free; no-sync does not
+    assert t64["generated"].max_edge_multiplexing == 1
+    assert t64["generated-none"].max_edge_multiplexing >= 2
+
+    benchmark.pedantic(
+        lambda: ablation_sync_modes.run(sizes=[kib(64)], repetitions=1),
+        rounds=2,
+        iterations=1,
+    )

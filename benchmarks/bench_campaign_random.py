@@ -1,0 +1,38 @@
+"""Robustness campaign: the comparison on random trees.
+
+The paper's Theorem covers every tree topology; this bench extends the
+*performance* claim beyond the paper's three testbeds by sweeping
+seeded random clusters (8-20 machines, 2-6 switches) at a large message
+size and aggregating win rates and speedup distributions.
+"""
+
+import pytest
+
+from repro.harness.campaign import run_campaign
+from repro.units import kib
+
+
+def test_random_topology_campaign(emit, benchmark):
+    summary = run_campaign(
+        num_topologies=12,
+        msize=kib(128),
+        repetitions=2,
+        base_seed=100,
+    )
+    emit("campaign_random_topologies", summary.render())
+
+    # The generated routine should win on a clear majority of random
+    # trees at large message sizes, and essentially never lose badly.
+    assert summary.win_rate("generated") >= 0.75
+    for baseline in ("lam", "mpich"):
+        speedups = summary.speedups(baseline)
+        assert min(speedups) > 0.9  # never more than ~10% slower
+        assert sum(s > 1.0 for s in speedups) >= len(speedups) * 0.75
+
+    benchmark.pedantic(
+        lambda: run_campaign(
+            num_topologies=2, msize=kib(64), repetitions=1, base_seed=500
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,68 @@
+"""Extension: the paper's topology lesson applied to allgather.
+
+Ring allgather keeps one flow per trunk direction per step (like the
+paper's schedule); recursive doubling hurls half the payload across the
+widest cut in its last step.  On the paper's multi-switch topologies
+the ring wins by roughly the trunk over-subscription factor — the same
+mechanism behind the alltoall results.
+"""
+
+import pytest
+
+from repro.collectives import recursive_doubling_allgather, ring_allgather
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import topology_b, topology_c
+from repro.units import format_size, kib, seconds_to_ms
+
+
+def run_collective(topo, build, params, seeds=(0, 1)):
+    samples = []
+    for seed in seeds:
+        result = run_programs(
+            topo,
+            build.programs,
+            msize=0,
+            params=params.with_seed(seed),
+            expected_blocks=build.expected_blocks,
+        )
+        samples.append(result.completion_time)
+    return sum(samples) / len(samples)
+
+
+def test_allgather_topology_story(emit, benchmark):
+    params = NetworkParams()
+    lines = [
+        "allgather: ring vs recursive doubling (mean of 2 seeds, ms)",
+        "",
+        f"{'topology':>14} {'msize':>8} {'ring':>10} {'recursive-dbl':>14} {'ring speedup':>13}",
+    ]
+    wins = {}
+    for topo_name, topo in (("(b) star", topology_b()), ("(c) chain", topology_c())):
+        for k in (32, 128):
+            msize = kib(k)
+            ring = run_collective(topo, ring_allgather(topo, msize), params)
+            rd = run_collective(
+                topo, recursive_doubling_allgather(topo, msize), params
+            )
+            lines.append(
+                f"{topo_name:>14} {format_size(msize):>8} "
+                f"{seconds_to_ms(ring):>9.1f} {seconds_to_ms(rd):>13.1f} "
+                f"{100 * (rd / ring - 1):>+12.1f}%"
+            )
+            wins[(topo_name, k)] = ring < rd
+    emit("extension_allgather", "\n".join(lines))
+    # the ring wins at large sizes on both bottlenecked topologies
+    assert wins[("(b) star", 128)]
+    assert wins[("(c) chain", 128)]
+
+    topo = topology_c()
+    build = ring_allgather(topo, kib(64))
+    benchmark.pedantic(
+        lambda: run_programs(
+            topo, build.programs, 0, params,
+            expected_blocks=build.expected_blocks,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,44 @@
+"""Extension: a depth-3 switch hierarchy (campus-style network).
+
+The paper's topologies are at most two switch levels deep.  Real campus
+networks nest: access, distribution, core.  This bench runs the
+comparison on a 27-machine ternary tree of depth 3 — long root paths,
+bottlenecks at every level — where the scheduler's tree generality
+(and the verifier's ground-truth checking) earns its keep.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cached
+from repro.harness.experiments import experiment_deep_tree
+from repro.harness.report import completion_table, speedup_summary
+from repro.topology.analysis import aapc_load
+from repro.topology.builder import tree_of_switches
+from repro.units import kib
+
+
+def test_deep_tree_comparison(emit, benchmark):
+    topo = tree_of_switches(3, 3, 3)
+    result = run_cached(
+        experiment_deep_tree, sizes=[kib(32), kib(128)], repetitions=2
+    )
+    lines = [
+        experiment_deep_tree.description,
+        f"AAPC load: {aapc_load(topo)}  "
+        f"(machines {topo.num_machines}, switches {topo.num_switches})",
+        "",
+        completion_table(result),
+        "",
+        speedup_summary(result),
+    ]
+    emit("extension_deep_tree", "\n".join(lines))
+
+    t = {a: dict(result.series(a)) for a in result.algorithms()}
+    assert t["generated"][kib(128)] < t["lam"][kib(128)]
+    assert t["generated"][kib(128)] < t["mpich"][kib(128)]
+
+    benchmark.pedantic(
+        lambda: experiment_deep_tree.run(sizes=[kib(32)], repetitions=1),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Scaling of the automatic routine generator itself.
+
+The paper's generator runs offline, but a practical release must build
+schedules for realistic cluster sizes quickly.  This bench times the
+full pipeline (root + global schedule + assignment + verification) and
+the sync-plan construction across cluster sizes, and checks optimality
+holds throughout.
+"""
+
+import time
+
+import pytest
+
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import build_sync_plan
+from repro.topology.analysis import aapc_load
+from repro.topology.builder import star_of_switches
+
+
+def cluster(n_machines):
+    """A star of four switches with n_machines total (paper-style shape)."""
+    per = n_machines // 4
+    sizes = [per, per, per, n_machines - 3 * per]
+    return star_of_switches(sizes)
+
+
+def test_scheduler_scaling(emit, benchmark):
+    lines = [
+        "routine-generation cost vs cluster size (star of 4 switches):",
+        "",
+        f"{'machines':>9} {'phases':>7} {'messages':>9} {'schedule+verify':>16} {'sync plan':>10}",
+    ]
+    for n in (8, 16, 32, 64, 96):
+        topo = cluster(n)
+        t0 = time.perf_counter()
+        schedule = schedule_aapc(topo)  # includes verification
+        t1 = time.perf_counter()
+        assert schedule.num_phases == aapc_load(topo)
+        if n <= 32:
+            plan = build_sync_plan(schedule)
+            t2 = time.perf_counter()
+            sync_text = f"{t2 - t1:9.3f}s"
+        else:
+            sync_text = "     (skipped)"
+        lines.append(
+            f"{n:>9} {schedule.num_phases:>7} {len(schedule):>9} "
+            f"{t1 - t0:>15.3f}s {sync_text:>10}"
+        )
+    emit("scheduler_scaling", "\n".join(lines))
+
+    topo = cluster(48)
+    benchmark.pedantic(
+        lambda: schedule_aapc(topo, verify=False), rounds=5, iterations=1
+    )

@@ -1,0 +1,66 @@
+"""Performance of the library itself: engine, flow solver, verifier.
+
+Not a paper experiment — these numbers bound how big a cluster the
+tooling handles interactively, and pytest-benchmark tracks regressions.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.scheduler import schedule_aapc
+from repro.core.verify import verify_schedule
+from repro.sim.engine import Engine
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import topology_c
+from repro.units import kib
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw event-loop throughput (schedule + dispatch)."""
+
+    def pump():
+        engine = Engine()
+        count = 50_000
+
+        def tick():
+            nonlocal count
+            count -= 1
+            if count > 0:
+                engine.schedule(1e-6, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark(pump)
+    assert events >= 50_000
+
+
+def test_lam_simulation_cost(benchmark, emit):
+    """The heaviest paper cell: LAM on topology (c), 992 concurrent flows."""
+    topo = topology_c()
+    params = NetworkParams()
+    programs = get_algorithm("lam").build_programs(topo, kib(256))
+
+    result = benchmark.pedantic(
+        lambda: run_programs(topo, programs, kib(256), params),
+        rounds=2,
+        iterations=1,
+    )
+    emit(
+        "simulator_perf",
+        f"LAM/topology(c)/256KB: {result.events_processed} engine events, "
+        f"peak {result.peak_concurrent_flows} concurrent flows "
+        f"(simulated {result.completion_time * 1e3:.0f} ms)",
+    )
+
+
+def test_schedule_and_verify_cost(benchmark):
+    """Scheduler + ground-truth verifier on the largest paper topology."""
+    topo = topology_c()
+    benchmark.pedantic(
+        lambda: verify_schedule(schedule_aapc(topo, verify=False)),
+        rounds=3,
+        iterations=1,
+    )

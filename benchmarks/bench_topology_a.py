@@ -1,0 +1,44 @@
+"""Reproduce Figure 6: topology (a) — 24 machines, single switch.
+
+Part (a): completion-time table for 8KB..256KB; part (b): aggregate
+throughput against the 2400 Mbps peak.  The timed benchmark measures
+one simulated ``MPI_Alltoall`` at the paper's headline 64KB size.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_report, run_cached
+from repro.algorithms import GeneratedAlltoall
+from repro.harness.experiments import experiment_topology_a
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import topology_a
+from repro.units import kib
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cached(experiment_topology_a)
+
+
+def test_figure6_completion_and_throughput(result, emit, benchmark):
+    emit("figure6_topology_a", figure_report(result, experiment_topology_a))
+
+    # Reproduction shape checks (who wins where):
+    t = {a: dict(result.series(a)) for a in result.algorithms()}
+    # generated loses at 8KB (sync overhead dominates) ...
+    assert t["generated"][kib(8)] > t["lam"][kib(8)]
+    # ... and is never slower than LAM from 32KB up.
+    for k in (32, 64, 128, 256):
+        assert t["generated"][kib(k)] <= t["lam"][kib(k)]
+    # LAM is the worst large-message algorithm on a single switch.
+    assert t["lam"][kib(256)] > t["mpich"][kib(256)]
+
+    topo = topology_a()
+    programs = GeneratedAlltoall().build_programs(topo, kib(64))
+    params = NetworkParams()
+    benchmark.pedantic(
+        lambda: run_programs(topo, programs, kib(64), params),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Reproduce Figure 7: topology (b) — 32 machines, star of 4 switches.
+
+The inter-switch links are the bottleneck (load 192, peak 516.7 Mbps);
+this is where topology-aware scheduling starts to pay.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_report, run_cached
+from repro.algorithms import GeneratedAlltoall
+from repro.harness.experiments import experiment_topology_b
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import topology_b
+from repro.units import kib
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cached(experiment_topology_b)
+
+
+def test_figure7_completion_and_throughput(result, emit, benchmark):
+    emit("figure7_topology_b", figure_report(result, experiment_topology_b))
+
+    t = {a: dict(result.series(a)) for a in result.algorithms()}
+    # the generated routine wins against both baselines at >= 64KB ...
+    for k in (64, 128, 256):
+        assert t["generated"][kib(k)] < t["lam"][kib(k)]
+        assert t["generated"][kib(k)] < t["mpich"][kib(k)]
+    # ... and loses at 8KB where per-phase overheads dominate.
+    assert t["generated"][kib(8)] > t["lam"][kib(8)]
+
+    topo = topology_b()
+    programs = GeneratedAlltoall().build_programs(topo, kib(64))
+    params = NetworkParams()
+    benchmark.pedantic(
+        lambda: run_programs(topo, programs, kib(64), params),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,82 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+Section 6 (or one ablation from DESIGN.md): it runs the experiment grid
+on the simulator, prints the paper-style table *next to the paper's
+measured numbers*, writes the same text under ``benchmarks/out/``, and
+uses ``pytest-benchmark`` to time one representative pipeline stage.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import pytest
+
+from repro.harness.experiments import Experiment
+from repro.harness.metrics import peak_throughput_mbps
+from repro.harness.report import (
+    completion_table,
+    render_throughput_series,
+    speedup_summary,
+    throughput_table,
+)
+from repro.harness.runner import ExperimentResult
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Experiment results are cached for the whole pytest session so the
+#: completion-time test and the throughput test of one figure share a run.
+_RESULT_CACHE: Dict[str, ExperimentResult] = {}
+
+
+def run_cached(experiment: Experiment, **kwargs) -> ExperimentResult:
+    key = experiment.name + repr(sorted(kwargs.items()))
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = experiment.run(**kwargs)
+    return _RESULT_CACHE[key]
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report to the real terminal and save it under out/."""
+
+    def _emit(name: str, text: str) -> None:
+        os.makedirs(OUT_DIR, exist_ok=True)
+        with open(os.path.join(OUT_DIR, name + ".txt"), "w") as fh:
+            fh.write(text + "\n")
+        with capsys.disabled():
+            print()
+            print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+            print(text)
+
+    return _emit
+
+
+def figure_report(result: ExperimentResult, experiment: Experiment) -> str:
+    """Completion table + throughput table + text plot + speedups + shape."""
+    parts = [
+        experiment.description,
+        "",
+        "-- completion time (part a) --",
+        completion_table(result, reference=experiment.reference),
+        "",
+        "-- aggregate throughput (part b) --",
+        throughput_table(result),
+        "",
+        render_throughput_series(result),
+        "",
+        "-- speedups of the generated routine --",
+        speedup_summary(result),
+    ]
+    if experiment.reference:
+        from repro.harness.validation import compare_shapes
+
+        report = compare_shapes(result, experiment.reference)
+        parts += ["", "-- shape agreement vs the paper --", report.summary()]
+    return "\n".join(parts)

@@ -1,0 +1,89 @@
+"""repro — contention-free AAPC message scheduling on Ethernet switched clusters.
+
+A production-quality reproduction of:
+
+    Ahmad Faraj and Xin Yuan, "Message Scheduling for All-to-All
+    Personalized Communication on Ethernet Switched Clusters",
+    IPPS/IPDPS 2005.
+
+Quickstart::
+
+    from repro import schedule_aapc, paper_example_cluster
+    schedule = schedule_aapc(paper_example_cluster())
+    print(schedule.render())
+
+Subsystems (see DESIGN.md for the full inventory):
+
+* :mod:`repro.topology` — tree cluster model, builders, load analysis.
+* :mod:`repro.core` — root finding, extended-ring global scheduling,
+  the six-step assignment, verification, sync planning, codegen.
+* :mod:`repro.algorithms` — LAM / MPICH / Bruck baselines and the
+  generated topology-aware routine.
+* :mod:`repro.sim` — discrete-event flow-level cluster simulator.
+* :mod:`repro.harness` — the paper's experiments and reports.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CodegenError,
+    ProgramError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+    VerificationError,
+)
+from repro.topology import (
+    Topology,
+    chain_of_switches,
+    paper_example_cluster,
+    random_tree,
+    single_switch,
+    star_of_switches,
+    topology_a,
+    topology_b,
+    topology_c,
+)
+from repro.core import (
+    Message,
+    PhasedSchedule,
+    build_programs,
+    build_sync_plan,
+    identify_root,
+    schedule_aapc,
+    verify_schedule,
+)
+from repro.algorithms import get_algorithm
+from repro.api import Communicator
+from repro.sim import NetworkParams, run_programs
+
+__all__ = [
+    "Communicator",
+    "__version__",
+    "ReproError",
+    "TopologyError",
+    "SchedulingError",
+    "VerificationError",
+    "SimulationError",
+    "ProgramError",
+    "CodegenError",
+    "Topology",
+    "single_switch",
+    "star_of_switches",
+    "chain_of_switches",
+    "paper_example_cluster",
+    "random_tree",
+    "topology_a",
+    "topology_b",
+    "topology_c",
+    "Message",
+    "PhasedSchedule",
+    "identify_root",
+    "schedule_aapc",
+    "verify_schedule",
+    "build_sync_plan",
+    "build_programs",
+    "get_algorithm",
+    "NetworkParams",
+    "run_programs",
+]

@@ -1,0 +1,62 @@
+"""All-to-all algorithm implementations.
+
+The paper's comparison set, all lowered to the same per-rank op IR so
+they run on the same simulator:
+
+* :class:`~repro.algorithms.lam.LamAlltoall` — LAM/MPI 6.5.9's naive
+  algorithm: post every non-blocking receive and send, then wait.
+* :class:`~repro.algorithms.mpich.OrderedIsendAlltoall` — MPICH's
+  medium-message algorithm (``256 < msize <= 32768``): like LAM but rank
+  ``i`` targets ``i+1, i+2, ...`` to avoid hot receivers.
+* :class:`~repro.algorithms.mpich.PairwiseAlltoall` — MPICH's
+  large-message algorithm for power-of-two sizes: step ``j`` exchanges
+  with ``i XOR j``.
+* :class:`~repro.algorithms.mpich.RingAlltoall` — MPICH's large-message
+  algorithm otherwise: step ``j`` sends to ``i+j`` and receives from
+  ``i-j``.
+* :class:`~repro.algorithms.bruck.BruckAlltoall` — the log-step
+  small-message algorithm (MPICH uses it below 256 B); included for
+  completeness of the MPICH selector.
+* :class:`~repro.algorithms.scheduled.GeneratedAlltoall` — the paper's
+  topology-aware routine: contention-free phases plus pair-wise
+  synchronization.
+
+:func:`~repro.algorithms.registry.get_algorithm` resolves names, and
+:class:`~repro.algorithms.mpich.MpichSelector` reproduces MPICH's
+size/count-based dispatch.
+"""
+
+from repro.algorithms.base import AlltoallAlgorithm
+from repro.algorithms.lam import LamAlltoall
+from repro.algorithms.mpich import (
+    MpichSelector,
+    OrderedIsendAlltoall,
+    PairwiseAlltoall,
+    RingAlltoall,
+)
+from repro.algorithms.bruck import BruckAlltoall
+from repro.algorithms.irregular import (
+    PostAllAlltoallv,
+    ScheduledAlltoallv,
+    expected_blocks_for,
+)
+from repro.algorithms.scheduled import GeneratedAlltoall
+from repro.algorithms.autotuned import AutoTunedAlltoall
+from repro.algorithms.registry import available_algorithms, get_algorithm
+
+__all__ = [
+    "PostAllAlltoallv",
+    "ScheduledAlltoallv",
+    "AutoTunedAlltoall",
+    "expected_blocks_for",
+    "AlltoallAlgorithm",
+    "LamAlltoall",
+    "OrderedIsendAlltoall",
+    "PairwiseAlltoall",
+    "RingAlltoall",
+    "MpichSelector",
+    "BruckAlltoall",
+    "GeneratedAlltoall",
+    "get_algorithm",
+    "available_algorithms",
+]

@@ -1,0 +1,104 @@
+"""Common interface and helpers for all-to-all algorithms."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.program import Op, OpKind, Program, validate_programs
+from repro.topology.graph import Topology
+
+
+class AlltoallAlgorithm(abc.ABC):
+    """An MPI_Alltoall implementation lowered to per-rank programs.
+
+    Subclasses implement :meth:`build_programs`; everything downstream
+    (simulation, code generation, analysis) is shared.  *msize* is
+    passed because adaptive implementations (MPICH) pick their algorithm
+    by message size.
+    """
+
+    #: Short identifier used by the registry and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build_programs(self, topology: Topology, msize: int) -> Dict[str, Program]:
+        """Programs keyed by machine name, one per rank."""
+
+    def describe(self, topology: Topology, msize: int) -> str:
+        """One-line description for reports (override for adaptive algos)."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def post_all_programs(
+    topology: Topology,
+    send_order: Callable[[int, int], Sequence[int]],
+    recv_order: Callable[[int, int], Sequence[int]],
+) -> Dict[str, Program]:
+    """Build "post everything, then wait" programs (LAM / ordered-isend).
+
+    ``send_order(i, n)`` / ``recv_order(i, n)`` give the peer-rank
+    sequences for rank ``i`` of ``n``.  Receives are posted before
+    sends, as both LAM and MPICH do, so eager senders always find a
+    posted receive.
+    """
+    machines = topology.machines
+    n = len(machines)
+    programs: Dict[str, Program] = {}
+    for i, me in enumerate(machines):
+        prog = Program(me)
+        for j in recv_order(i, n):
+            if j == i:
+                continue
+            peer = machines[j]
+            prog.append(
+                Op(OpKind.IRECV, peer=peer, tag=0, blocks=((peer, me),), phase=0)
+            )
+        for j in send_order(i, n):
+            if j == i:
+                continue
+            peer = machines[j]
+            prog.append(
+                Op(OpKind.ISEND, peer=peer, tag=0, blocks=((me, peer),), phase=0)
+            )
+        prog.append(Op(OpKind.WAITALL, phase=0))
+        programs[me] = prog
+    validate_programs(programs)
+    return programs
+
+
+def stepwise_exchange_programs(
+    topology: Topology,
+    peers: Callable[[int, int, int], Sequence[int]],
+    num_steps: int,
+) -> Dict[str, Program]:
+    """Build step-synchronous exchange programs (pairwise / ring).
+
+    ``peers(i, n, step)`` returns ``(send_peer, recv_peer)`` for rank
+    ``i`` at *step*; each step posts the receive and send, then waits —
+    the structure of MPICH's large-message algorithms.
+    """
+    machines = topology.machines
+    n = len(machines)
+    programs: Dict[str, Program] = {}
+    for i, me in enumerate(machines):
+        prog = Program(me)
+        for step in range(num_steps):
+            send_peer, recv_peer = peers(i, n, step)
+            if recv_peer != i:
+                peer = machines[recv_peer]
+                prog.append(
+                    Op(OpKind.IRECV, peer=peer, tag=step, blocks=((peer, me),), phase=step)
+                )
+            if send_peer != i:
+                peer = machines[send_peer]
+                prog.append(
+                    Op(OpKind.ISEND, peer=peer, tag=step, blocks=((me, peer),), phase=step)
+                )
+            prog.append(Op(OpKind.WAITALL, phase=step))
+        programs[me] = prog
+    validate_programs(programs)
+    return programs

@@ -1,0 +1,53 @@
+"""Name-based algorithm lookup for the CLI and benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import AlltoallAlgorithm
+from repro.algorithms.bruck import BruckAlltoall
+from repro.algorithms.lam import LamAlltoall
+from repro.algorithms.mpich import (
+    MpichSelector,
+    OrderedIsendAlltoall,
+    PairwiseAlltoall,
+    RingAlltoall,
+)
+from repro.algorithms.scheduled import GeneratedAlltoall
+from repro.errors import ReproError
+
+def _autotuned() -> AlltoallAlgorithm:
+    # imported lazily: autotuned depends on the registry itself
+    from repro.algorithms.autotuned import AutoTunedAlltoall
+
+    return AutoTunedAlltoall()
+
+
+_FACTORIES: Dict[str, Callable[[], AlltoallAlgorithm]] = {
+    "autotuned": _autotuned,
+    "lam": LamAlltoall,
+    "mpich": MpichSelector,
+    "mpich-ordered-isend": OrderedIsendAlltoall,
+    "mpich-pairwise": PairwiseAlltoall,
+    "mpich-ring": RingAlltoall,
+    "bruck": BruckAlltoall,
+    "generated": GeneratedAlltoall,
+    "generated-barrier": lambda: GeneratedAlltoall(sync_mode="barrier"),
+    "generated-nosync": lambda: GeneratedAlltoall(sync_mode="none"),
+}
+
+
+def available_algorithms() -> List[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_algorithm(name: str) -> AlltoallAlgorithm:
+    """Instantiate an algorithm by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory()

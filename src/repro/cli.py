@@ -1,0 +1,335 @@
+"""Command-line interface: ``repro-aapc`` / ``python -m repro``.
+
+Subcommands mirror the workflow of the paper's routine generator:
+
+* ``analyze``  — load a topology file, report loads/bottlenecks/peak.
+* ``schedule`` — print the contention-free phased schedule (Table 4 style).
+* ``codegen``  — emit the customized MPI_Alltoall C routine.
+* ``simulate`` — run one algorithm on the simulator, report timing.
+* ``repro``    — regenerate a paper experiment table (Figures 6-8).
+
+Topology input is the text format of
+:mod:`repro.topology.serialization`, or one of the built-in names
+``a`` / ``b`` / ``c`` / ``fig1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms import available_algorithms, get_algorithm
+from repro.algorithms.scheduled import GeneratedAlltoall
+from repro.core.codegen import generate_c_routine
+from repro.core.program import build_programs
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import build_sync_plan
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.metrics import peak_throughput_mbps
+from repro.harness.report import (
+    completion_table,
+    render_throughput_series,
+    speedup_summary,
+    throughput_table,
+)
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.analysis import (
+    aapc_load,
+    bottleneck_edges,
+    peak_aggregate_throughput,
+)
+from repro.topology.builder import (
+    paper_example_cluster,
+    topology_a,
+    topology_b,
+    topology_c,
+)
+from repro.topology.graph import Topology
+from repro.topology.serialization import load_topology
+from repro.units import bytes_per_sec_to_mbps, parse_size, seconds_to_ms
+
+_BUILTIN_TOPOLOGIES = {
+    "a": topology_a,
+    "b": topology_b,
+    "c": topology_c,
+    "fig1": paper_example_cluster,
+}
+
+
+def _load_topology(spec: str) -> Topology:
+    if spec in _BUILTIN_TOPOLOGIES:
+        return _BUILTIN_TOPOLOGIES[spec]()
+    return load_topology(spec)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    topo = _load_topology(args.topology)
+    params = NetworkParams()
+    print(f"machines: {topo.num_machines}  switches: {topo.num_switches}")
+    print(f"AAPC load (bottleneck): {aapc_load(topo)}")
+    undirected = sorted({tuple(sorted(e)) for e in bottleneck_edges(topo)})
+    print(f"bottleneck links: {undirected}")
+    peak = peak_aggregate_throughput(topo, params.bandwidth)
+    print(
+        f"peak aggregate throughput @ "
+        f"{bytes_per_sec_to_mbps(params.bandwidth):.0f} Mbps links: "
+        f"{bytes_per_sec_to_mbps(peak):.1f} Mbps"
+    )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    topo = _load_topology(args.topology)
+    schedule = schedule_aapc(topo, root=args.root)
+    if args.json:
+        from repro.core.schedule_io import save_schedule
+
+        save_schedule(schedule, args.json)
+        print(f"wrote {args.json}")
+    print(f"phases: {schedule.num_phases}  messages: {len(schedule)}")
+    if schedule.root_info is not None:
+        info = schedule.root_info
+        print(f"root: {info.root}  subtree sizes: {list(info.sizes)}")
+    print(schedule.render())
+    if args.syncs:
+        plan = build_sync_plan(schedule)
+        print(
+            f"\nsync messages: {plan.stats.num_after_reduction} "
+            f"(from {plan.stats.num_conflict_deps} conflict dependences; "
+            f"{plan.stats.num_program_order_free} free by program order, "
+            f"{plan.stats.removed_by_reduction} removed as redundant)"
+        )
+        for s in plan.syncs:
+            print(f"  {s}")
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    topo = _load_topology(args.topology)
+    schedule = schedule_aapc(topo, root=args.root)
+    plan = build_sync_plan(schedule)
+    programs = build_programs(schedule, plan)
+    source = generate_c_routine(
+        programs,
+        topo.machines,
+        num_phases=schedule.num_phases,
+        num_syncs=len(plan.syncs),
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    params = NetworkParams(seed=args.seed)
+    for name in args.algorithms:
+        algorithm = get_algorithm(name)
+        programs = algorithm.build_programs(topo, msize)
+        result = run_programs(topo, programs, msize, params)
+        throughput = result.aggregate_throughput(topo.num_machines, msize)
+        print(
+            f"{algorithm.describe(topo, msize):28s} "
+            f"{seconds_to_ms(result.completion_time):9.2f} ms   "
+            f"{bytes_per_sec_to_mbps(throughput):8.1f} Mbps agg   "
+            f"max link multiplexing {result.max_edge_multiplexing}"
+        )
+    return 0
+
+
+def _cmd_stp(args: argparse.Namespace) -> int:
+    from repro.topology.physical_format import load_physical
+    from repro.topology.serialization import dumps_topology
+    from repro.topology.spanning_tree import compute_spanning_tree
+
+    network = load_physical(args.wiring)
+    result = compute_spanning_tree(network)
+    print(f"root bridge: {result.root_bridge}")
+    print(f"forwarding switch links: {len(result.forwarding_links)}")
+    for a, b, cost in result.forwarding_links:
+        print(f"  forward {a} <-> {b} (cost {cost})")
+    for a, b, cost in result.blocked_links:
+        print(f"  BLOCKED {a} <-> {b} (cost {cost})")
+    for switch in sorted(result.root_path_cost):
+        print(f"  root path cost {switch}: {result.root_path_cost[switch]}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(dumps_topology(result.topology))
+        print(f"wrote forwarding topology to {args.output}")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.sim.gantt import phase_latency_table, render_rank_gantt
+
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    algorithm = get_algorithm(args.algorithm)
+    programs = algorithm.build_programs(topo, msize)
+    result = run_programs(
+        topo, programs, msize, NetworkParams(seed=args.seed), trace=True
+    )
+    ranks = list(topo.machines)[: args.ranks] if args.ranks else None
+    print(
+        f"{algorithm.describe(topo, msize)}  "
+        f"{seconds_to_ms(result.completion_time):.2f} ms  "
+        f"max link multiplexing {result.max_edge_multiplexing}"
+    )
+    print(render_rank_gantt(result.trace, ranks=ranks, width=args.width))
+    if args.phases:
+        print()
+        print(phase_latency_table(result.trace))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.program_analysis import analyze_programs
+
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    algorithm = get_algorithm(args.algorithm)
+    programs = algorithm.build_programs(topo, msize)
+    report = analyze_programs(topo, programs, msize)
+    print(f"{algorithm.describe(topo, msize)} on {args.topology}, "
+          f"msize {args.msize}: static contention analysis")
+    print(report.render())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.harness.campaign import run_campaign
+
+    summary = run_campaign(
+        num_topologies=args.topologies,
+        msize=parse_size(args.msize),
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+    )
+    print(summary.render())
+    return 0
+
+
+def _cmd_repro(args: argparse.Namespace) -> int:
+    try:
+        experiment = EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"# {experiment.name}: {experiment.description}")
+    sizes = [parse_size(s) for s in args.sizes] if args.sizes else None
+    result = experiment.run(sizes=sizes, repetitions=args.repetitions)
+    print(completion_table(result, reference=experiment.reference))
+    print()
+    print(throughput_table(result))
+    if args.plot:
+        print()
+        print(render_throughput_series(result))
+    if "generated" in result.algorithms():
+        print("\nspeedups (paper convention, + means generated is faster):")
+        print(speedup_summary(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-aapc",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="topology load/bottleneck analysis")
+    p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("schedule", help="print the contention-free schedule")
+    p.add_argument("topology")
+    p.add_argument("--root", default=None, help="force the scheduling root")
+    p.add_argument("--syncs", action="store_true", help="also print sync plan")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also export the schedule as JSON")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("codegen", help="emit the customized MPI_Alltoall in C")
+    p.add_argument("topology")
+    p.add_argument("--root", default=None)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_codegen)
+
+    p = sub.add_parser("simulate", help="simulate algorithms on a topology")
+    p.add_argument("topology")
+    p.add_argument("--msize", default="64KB", help="per-pair message size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["lam", "mpich", "generated"],
+        choices=available_algorithms(),
+    )
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "stp", help="reduce a redundant physical wiring to its forwarding tree"
+    )
+    p.add_argument("wiring", help="physical wiring file (switch/machine/trunk)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the forwarding topology here")
+    p.set_defaults(func=_cmd_stp)
+
+    p = sub.add_parser("gantt", help="per-rank execution timeline")
+    p.add_argument("topology")
+    p.add_argument("--algorithm", default="generated",
+                   choices=available_algorithms())
+    p.add_argument("--msize", default="64KB")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ranks", type=int, default=None,
+                   help="show only the first N ranks")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--phases", action="store_true",
+                   help="also print the per-phase latency table")
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser(
+        "inspect", help="static contention analysis of an algorithm"
+    )
+    p.add_argument("topology")
+    p.add_argument("--algorithm", default="lam", choices=available_algorithms())
+    p.add_argument("--msize", default="64KB")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "campaign", help="compare algorithms over random topologies"
+    )
+    p.add_argument("--topologies", type=int, default=8)
+    p.add_argument("--msize", default="128KB")
+    p.add_argument("--repetitions", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("repro", help="regenerate a paper experiment")
+    p.add_argument("experiment", help=f"one of {sorted(EXPERIMENTS)}")
+    p.add_argument("--sizes", nargs="*", default=None, help="e.g. 8KB 64KB")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--plot", action="store_true", help="text throughput plot")
+    p.set_defaults(func=_cmd_repro)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Further collectives built on the same op-IR + simulator substrate.
+
+The paper motivates AAPC with applications — matrix transpose,
+convolution, data redistribution — that in practice mix `MPI_Alltoall`
+with other collectives.  This package implements the classic
+point-to-point realizations of those collectives on the library's
+program IR so they run, verified, on the same simulated cluster:
+
+* :func:`~repro.collectives.bcast.binomial_bcast` — log-step broadcast;
+* :func:`~repro.collectives.scatter.binomial_scatter` /
+  :func:`~repro.collectives.scatter.binomial_gather` — personalized
+  root collectives over the binomial tree;
+* :func:`~repro.collectives.allgather.ring_allgather` /
+  :func:`~repro.collectives.allgather.recursive_doubling_allgather` —
+  the bandwidth-optimal neighbour ring vs. the latency-optimal
+  exchange, whose trunk behaviour on multi-switch topologies mirrors
+  the paper's alltoall story.
+
+Every builder returns per-rank :class:`~repro.core.program.Program`
+objects plus the delivery expectation the executor verifies.
+"""
+
+from repro.collectives.bcast import binomial_bcast
+from repro.collectives.scatter import binomial_gather, binomial_scatter
+from repro.collectives.allgather import (
+    dfs_machine_order,
+    recursive_doubling_allgather,
+    ring_allgather,
+)
+from repro.collectives.base import CollectiveBuild
+
+__all__ = [
+    "CollectiveBuild",
+    "binomial_bcast",
+    "binomial_scatter",
+    "binomial_gather",
+    "ring_allgather",
+    "recursive_doubling_allgather",
+    "dfs_machine_order",
+]

@@ -1,0 +1,140 @@
+"""Ring and recursive-doubling allgather.
+
+Allgather moves every rank's *msize*-byte block to every other rank.
+The two classic realizations sit at opposite ends of the
+latency/bandwidth trade-off, and — like the paper's alltoall story —
+behave very differently on multi-switch topologies:
+
+* **ring**: ``N - 1`` steps; at step ``s`` rank ``i`` forwards to its
+  successor the block that originated at ``(i - s) mod N``.  With ranks
+  grouped per switch (as the paper's topologies are), each trunk
+  carries exactly one flow per direction per step — naturally
+  contention-free, like the paper's schedule.
+* **recursive doubling** (power-of-two ranks): ``log2 N`` steps; at
+  step ``k`` rank ``i`` exchanges everything it has with ``i ^ 2^k``.
+  The last steps hurl half the total payload across the widest cut —
+  straight through the bottleneck trunk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.collectives.base import CollectiveBuild
+from repro.core.program import Op, OpKind, Program, validate_programs
+from repro.errors import SchedulingError
+from repro.topology.graph import Topology
+
+
+def _expected_allgather(machines) -> Dict[str, Set[Tuple[str, str]]]:
+    return {
+        m: {(src, m) for src in machines if src != m} for m in machines
+    }
+
+
+def dfs_machine_order(topology: Topology) -> tuple:
+    """Machines in depth-first traversal order of the tree.
+
+    Consecutive machines in this order are topologically close, so a
+    ring built over it crosses each tree edge at most twice per
+    direction across the whole cycle — the minimum for any Hamiltonian
+    cycle on a tree's leaves.
+    """
+    start = topology.machines[0]
+    seen = {start}
+    order = []
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if topology.is_machine(node):
+            order.append(node)
+        for neighbor in reversed(topology.neighbors(node)):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return tuple(order)
+
+
+def ring_allgather(
+    topology: Topology, msize: int, *, order: "str | None" = None
+) -> CollectiveBuild:
+    """Neighbour-ring allgather: N-1 steps, one block per step per rank.
+
+    *order* selects the ring:
+
+    * ``None`` (default) — rank order, which the paper-style builders
+      already group per switch;
+    * ``"dfs"`` — machines ordered by a depth-first traversal of the
+      tree, which provably minimises how often consecutive ring
+      neighbours cross each tree edge (every edge at most twice per
+      direction over the whole cycle).  On topologies whose rank order
+      scatters machines across switches this is the topology-aware
+      fix — the allgather analogue of the paper's idea.
+    """
+    if order not in (None, "dfs"):
+        raise SchedulingError(f"unknown ring order {order!r}")
+    machines = (
+        dfs_machine_order(topology) if order == "dfs" else topology.machines
+    )
+    n = len(machines)
+    programs = {m: Program(m) for m in machines}
+    for step in range(n - 1):
+        for i, me in enumerate(machines):
+            to = machines[(i + 1) % n]
+            frm = machines[(i - 1) % n]
+            outgoing_origin = machines[(i - step) % n]
+            incoming_origin = machines[(i - 1 - step) % n]
+            prog = programs[me]
+            if n > 1:
+                prog.append(
+                    Op(OpKind.IRECV, peer=frm, tag=step, phase=step)
+                )
+                prog.append(
+                    Op(OpKind.ISEND, peer=to, tag=step,
+                       blocks=((outgoing_origin, to),),
+                       nbytes=msize, phase=step)
+                )
+                prog.append(Op(OpKind.WAITALL, phase=step))
+    validate_programs(programs)
+    name = "ring-allgather-dfs" if order == "dfs" else "ring-allgather"
+    return CollectiveBuild(name, programs, _expected_allgather(machines))
+
+
+def recursive_doubling_allgather(
+    topology: Topology, msize: int
+) -> CollectiveBuild:
+    """Exchange-doubling allgather; requires a power-of-two rank count."""
+    machines = topology.machines
+    n = len(machines)
+    if n & (n - 1):
+        raise SchedulingError(
+            f"recursive doubling requires a power-of-two rank count, got {n}"
+        )
+    programs = {m: Program(m) for m in machines}
+    # held[i] = origins rank i currently has (by index).
+    held: List[List[int]] = [[i] for i in range(n)]
+    step = 0
+    distance = 1
+    while distance < n:
+        new_held = [list(h) for h in held]
+        for i, me in enumerate(machines):
+            peer_index = i ^ distance
+            peer = machines[peer_index]
+            blocks = tuple((machines[o], peer) for o in held[i])
+            prog = programs[me]
+            prog.append(Op(OpKind.IRECV, peer=peer, tag=step, phase=step))
+            prog.append(
+                Op(OpKind.ISEND, peer=peer, tag=step, blocks=blocks,
+                   nbytes=len(blocks) * msize, phase=step)
+            )
+            prog.append(Op(OpKind.WAITALL, phase=step))
+            new_held[peer_index] = sorted(set(new_held[peer_index]) | set(held[i]))
+        held = new_held
+        distance *= 2
+        step += 1
+    for i in range(n):
+        assert len(held[i]) == n, "recursive doubling construction bug"
+    validate_programs(programs)
+    return CollectiveBuild(
+        "recursive-doubling-allgather", programs, _expected_allgather(machines)
+    )

@@ -1,0 +1,48 @@
+"""Shared types for collective builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.core.program import Block, Program
+from repro.errors import SchedulingError
+from repro.topology.graph import Topology
+
+
+@dataclass
+class CollectiveBuild:
+    """Programs plus the delivery expectation of one collective call.
+
+    Feed both to :func:`repro.sim.executor.run_programs`::
+
+        build = ring_allgather(topo, msize)
+        run_programs(topo, build.programs, msize=0, params=params,
+                     expected_blocks=build.expected_blocks)
+    """
+
+    name: str
+    programs: Dict[str, Program]
+    expected_blocks: Dict[str, Set[Block]]
+
+    def total_wire_bytes(self) -> int:
+        """Bytes put on the wire across all ranks (for cost comparisons)."""
+        from repro.core.program import OpKind
+
+        return sum(
+            op.wire_size(0)
+            for prog in self.programs.values()
+            for op in prog.ops
+            if op.kind in (OpKind.ISEND, OpKind.SEND)
+        )
+
+
+def resolve_root(topology: Topology, root) -> int:
+    """Accept a rank index or a machine name; return the rank index."""
+    if isinstance(root, str):
+        return topology.rank_of(root)
+    if not 0 <= root < topology.num_machines:
+        raise SchedulingError(
+            f"root rank {root} out of range [0, {topology.num_machines})"
+        )
+    return int(root)

@@ -1,0 +1,72 @@
+"""Binomial-tree broadcast.
+
+``ceil(log2 N)`` rounds: in round ``k`` (counting down from the top)
+every rank that already has the data sends it to the rank ``2^k``
+positions away (mod N, relative to the root).  Each hop moves the full
+*msize* buffer, so every op sets an explicit ``nbytes = msize`` while
+its block list names the destinations the copy ultimately covers — the
+executor then verifies every rank received the root's payload exactly
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.collectives.base import CollectiveBuild, resolve_root
+from repro.core.program import Op, OpKind, Program, validate_programs
+from repro.topology.graph import Topology
+
+
+def binomial_bcast(
+    topology: Topology, msize: int, *, root: "int | str" = 0
+) -> CollectiveBuild:
+    """Build a binomial broadcast of *msize* bytes from *root*."""
+    machines = topology.machines
+    n = len(machines)
+    root_rank = resolve_root(topology, root)
+    programs = {m: Program(m) for m in machines}
+
+    def covered(rel: int, pof2: int) -> List[int]:
+        """Relative ranks served through the subtree rooted at rel+pof2."""
+        base = rel + pof2
+        return [base + d for d in range(pof2) if base + d < n]
+
+    # Relative numbering: rank 0 is the root; rel r maps to
+    # (root_rank + r) mod n.
+    def absolute(rel: int) -> str:
+        return machines[(root_rank + rel) % n]
+
+    # Highest power of two below n.
+    pof2 = 1
+    while pof2 * 2 < n:
+        pof2 *= 2
+    step = 0
+    while pof2 >= 1:
+        for rel in range(0, n, pof2 * 2):
+            target = rel + pof2
+            if target >= n:
+                continue
+            blocks = tuple(
+                (absolute(0), absolute(c)) for c in covered(rel, pof2)
+            )
+            programs[absolute(rel)].append(
+                Op(OpKind.ISEND, peer=absolute(target), tag=step,
+                   blocks=blocks, nbytes=msize, phase=step)
+            )
+            programs[absolute(rel)].append(Op(OpKind.WAITALL, phase=step))
+            programs[absolute(target)].append(
+                Op(OpKind.RECV, peer=absolute(rel), tag=step, phase=step)
+            )
+        pof2 //= 2
+        step += 1
+
+    validate_programs(programs)
+    expected: Dict[str, Set[Tuple[str, str]]] = {
+        m: set() for m in machines
+    }
+    root_name = machines[root_rank]
+    for m in machines:
+        if m != root_name:
+            expected[m] = {(root_name, m)}
+    return CollectiveBuild("binomial-bcast", programs, expected)

@@ -1,0 +1,113 @@
+"""Binomial-tree scatter and gather.
+
+Scatter: the root owns one distinct *msize*-byte block per rank; each
+binomial round forwards to the subtree head every block its subtree
+will need, halving the payload per hop down the tree.  Gather is the
+time-reversal: subtree heads accumulate their subtree's blocks and
+forward them toward the root.
+
+Both use relative numbering around the root, explicit per-op byte
+counts (``blocks * msize``), and the executor's delivery verifier:
+scatter ends with every rank holding exactly its own block; gather ends
+with the root holding one block from everyone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.collectives.base import CollectiveBuild, resolve_root
+from repro.core.program import Op, OpKind, Program, validate_programs
+from repro.topology.graph import Topology
+
+
+def _subtree(rel: int, pof2: int, n: int) -> List[int]:
+    """Relative ranks of the binomial subtree rooted at ``rel + pof2``."""
+    base = rel + pof2
+    return [base + d for d in range(pof2) if base + d < n]
+
+
+def _plan_rounds(n: int):
+    """Yield (step, sender_rel, target_rel, subtree_rels), top-down."""
+    pof2 = 1
+    while pof2 * 2 < n:
+        pof2 *= 2
+    step = 0
+    while pof2 >= 1:
+        for rel in range(0, n, pof2 * 2):
+            if rel + pof2 < n:
+                yield step, rel, rel + pof2, _subtree(rel, pof2, n)
+        pof2 //= 2
+        step += 1
+
+
+def binomial_scatter(
+    topology: Topology, msize: int, *, root: "int | str" = 0
+) -> CollectiveBuild:
+    """Scatter one *msize*-byte block from *root* to every rank."""
+    machines = topology.machines
+    n = len(machines)
+    root_rank = resolve_root(topology, root)
+
+    def absolute(rel: int) -> str:
+        return machines[(root_rank + rel) % n]
+
+    root_name = machines[root_rank]
+    programs = {m: Program(m) for m in machines}
+    for step, sender, target, subtree in _plan_rounds(n):
+        blocks = tuple((root_name, absolute(c)) for c in subtree)
+        programs[absolute(sender)].append(
+            Op(OpKind.ISEND, peer=absolute(target), tag=step,
+               blocks=blocks, nbytes=len(blocks) * msize, phase=step)
+        )
+        programs[absolute(sender)].append(Op(OpKind.WAITALL, phase=step))
+        programs[absolute(target)].append(
+            Op(OpKind.RECV, peer=absolute(sender), tag=step, phase=step)
+        )
+    validate_programs(programs)
+    expected: Dict[str, Set[Tuple[str, str]]] = {
+        m: ({(root_name, m)} if m != root_name else set()) for m in machines
+    }
+    return CollectiveBuild("binomial-scatter", programs, expected)
+
+
+def binomial_gather(
+    topology: Topology, msize: int, *, root: "int | str" = 0
+) -> CollectiveBuild:
+    """Gather one *msize*-byte block from every rank at *root*.
+
+    The reverse binomial schedule: rounds run bottom-up, and the block
+    ``(origin, root)`` travels via the subtree heads.
+    """
+    machines = topology.machines
+    n = len(machines)
+    root_rank = resolve_root(topology, root)
+
+    def absolute(rel: int) -> str:
+        return machines[(root_rank + rel) % n]
+
+    root_name = machines[root_rank]
+    rounds = list(_plan_rounds(n))
+    max_step = max((step for step, *_ in rounds), default=0)
+    programs = {m: Program(m) for m in machines}
+    # reverse: the scatter's last round happens first, directions flip
+    for step, sender, target, subtree in sorted(
+        rounds, key=lambda r: -r[0]
+    ):
+        gather_step = max_step - step
+        blocks = tuple((absolute(c), root_name) for c in subtree)
+        programs[absolute(target)].append(
+            Op(OpKind.ISEND, peer=absolute(sender), tag=gather_step,
+               blocks=blocks, nbytes=len(blocks) * msize, phase=gather_step)
+        )
+        programs[absolute(target)].append(Op(OpKind.WAITALL, phase=gather_step))
+        programs[absolute(sender)].append(
+            Op(OpKind.RECV, peer=absolute(target), tag=gather_step,
+               phase=gather_step)
+        )
+    validate_programs(programs)
+    expected: Dict[str, Set[Tuple[str, str]]] = {m: set() for m in machines}
+    expected[root_name] = {
+        (m, root_name) for m in machines if m != root_name
+    }
+    return CollectiveBuild("binomial-gather", programs, expected)

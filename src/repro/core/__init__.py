@@ -1,0 +1,70 @@
+"""The paper's primary contribution: contention-free AAPC scheduling.
+
+The pipeline (paper Section 4):
+
+1. :mod:`repro.core.root` — identify the scheduling root, a switch on a
+   bottleneck link whose subtrees each hold at most ``|M|/2`` machines.
+2. :mod:`repro.core.global_schedule` — extended ring scheduling: assign a
+   contiguous interval of phases to every ordered subtree pair
+   ``t_i -> t_j``.
+3. :mod:`repro.core.assignment` — the six-step algorithm of Figure 4:
+   pick a concrete (sender, receiver) machine pair for every phase of
+   every group, embed every subtree's local messages, and produce a
+   :class:`repro.core.schedule.PhasedSchedule` with exactly
+   ``|M0| * (|M| - |M0|)`` contention-free phases.
+4. :mod:`repro.core.verify` — ground-truth checkers for the paper's
+   lemmas and theorem, used by tests and (optionally) at schedule time.
+5. :mod:`repro.core.synchronization` — the pair-wise synchronization
+   plan with redundant synchronizations removed (Section 5).
+6. :mod:`repro.core.program` / :mod:`repro.core.codegen` — turn a
+   schedule plus sync plan into executable per-rank programs and into a
+   generated C routine.
+
+The one-call entry point is :func:`repro.core.scheduler.schedule_aapc`.
+"""
+
+from repro.core.pattern import Message, aapc_messages
+from repro.core.root import RootInfo, Subtree, identify_root
+from repro.core.global_schedule import GlobalSchedule, build_global_schedule
+from repro.core.schedule import PhasedSchedule, ScheduledMessage
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import SyncPlan, build_sync_plan
+from repro.core.program import Program, build_programs
+from repro.core.verify import (
+    verify_complete,
+    verify_contention_free,
+    verify_phase_count,
+    verify_schedule,
+)
+from repro.core.irregular import (
+    IrregularSchedule,
+    schedule_irregular,
+    verify_irregular,
+)
+from repro.core.naive import greedy_phases, random_order_phases
+
+__all__ = [
+    "Message",
+    "aapc_messages",
+    "RootInfo",
+    "Subtree",
+    "identify_root",
+    "GlobalSchedule",
+    "build_global_schedule",
+    "PhasedSchedule",
+    "ScheduledMessage",
+    "schedule_aapc",
+    "SyncPlan",
+    "build_sync_plan",
+    "Program",
+    "build_programs",
+    "verify_schedule",
+    "verify_contention_free",
+    "verify_complete",
+    "verify_phase_count",
+    "IrregularSchedule",
+    "schedule_irregular",
+    "verify_irregular",
+    "greedy_phases",
+    "random_order_phases",
+]

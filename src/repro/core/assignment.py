@@ -1,0 +1,256 @@
+"""Global and local message assignment — the six-step algorithm of Figure 4.
+
+Given the root decomposition and the extended-ring global schedule, this
+module decides *which machine pair* realises each group phase and embeds
+every subtree's local messages, producing the final
+:class:`~repro.core.schedule.PhasedSchedule` whose properties the
+paper's Theorem states: every AAPC message exactly once, in exactly
+``|M_0| * (|M| - |M_0|)`` phases, contention-free within each phase.
+
+Step map (paper Figure 4):
+
+1. ``t_0 -> t_j``: receivers aligned to the global rule
+   ``t_{j,(p - T) mod |M_j|}`` (``T`` = total phases); senders by the
+   rotate pattern on base sequence ``t_{0,0..}`` — so every ``|M_0|``
+   consecutive phases see each ``t_0`` machine send once.
+2. ``t_i -> t_0``: receivers follow the Table 3 mapping (round ``r``
+   maps sender ``t_{0,m}`` to receiver ``t_{0,(m+r+1) mod |M_0|}``);
+   senders by the broadcast pattern.
+3. local messages of ``t_0`` are embedded in the first
+   ``|M_0| * (|M_0| - 1)`` phases: the Table 3 mapping guarantees each
+   ordered pair (global receiver -> global sender) appears exactly once.
+4. ``t_i -> t_j`` for ``i > j >= 1``: broadcast senders, receivers
+   aligned to the same global rule as step 1.
+5. local messages of ``t_i`` (``i >= 1``) are embedded in the phases of
+   ``t_i -> t_{i-1}``, pairing the phase's *designated receiver*
+   ``t_{i,(p - T) mod |M_i|}`` (the local sender) with the broadcast
+   global sender (the local receiver).
+6. ``t_i -> t_j`` for ``1 <= i < j``: any coverage pattern works; we use
+   broadcast.  These phases all precede the first phase of
+   ``t_0 -> t_j``, so they cannot disturb step 5's alignment argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.global_schedule import GlobalSchedule
+from repro.core.pattern import Message
+from repro.core.patterns import broadcast_pattern, rotate_pattern
+from repro.core.root import RootInfo
+from repro.core.schedule import MessageKind, PhasedSchedule
+from repro.topology.graph import Topology
+
+
+def table3_receiver(sender_index: int, round_index: int, m0: int) -> int:
+    """The Table 3 mapping: receiver of ``t_0`` in a given round.
+
+    In round ``r`` the machine ``t_{0,m}`` (the phase's global *sender*
+    from ``t_0``) is paired with receiver ``t_{0,(m + r + 1) mod |M_0|}``;
+    round ``|M_0| - 1`` degenerates to the identity pairing.
+    """
+    if not 0 <= sender_index < m0:
+        raise SchedulingError(f"sender index {sender_index} out of range for |M0|={m0}")
+    return (sender_index + (round_index % m0) + 1) % m0
+
+
+class AssignmentState:
+    """Mutable working state shared by the six steps."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        info: RootInfo,
+        gs: GlobalSchedule,
+    ) -> None:
+        self.topology = topology
+        self.info = info
+        self.gs = gs
+        self.sizes = info.sizes
+        self.k = info.k
+        self.T = gs.num_phases
+        self.schedule = PhasedSchedule(topology, self.T, info)
+        # t0's global sender index at every phase (t0 sends in every
+        # phase because its outgoing groups tile [0, T)).
+        self.t0_sender_idx: List[Optional[int]] = [None] * self.T
+        # index of the t0 machine receiving a global message at every
+        # phase (groups t_i -> t_0 also tile [0, T)).
+        self.t0_receiver_idx: List[Optional[int]] = [None] * self.T
+
+    def machine(self, subtree: int, index: int) -> str:
+        return self.info.subtrees[subtree].machine(index)
+
+    def add_global(
+        self, phase: int, i: int, j: int, sender_idx: int, receiver_idx: int
+    ) -> None:
+        msg = Message(self.machine(i, sender_idx), self.machine(j, receiver_idx))
+        self.schedule.add(phase, msg, MessageKind.GLOBAL, (i, j))
+
+    def add_local(
+        self, phase: int, i: int, sender_idx: int, receiver_idx: int
+    ) -> None:
+        msg = Message(self.machine(i, sender_idx), self.machine(i, receiver_idx))
+        self.schedule.add(phase, msg, MessageKind.LOCAL, (i, i))
+
+
+def assign_messages(
+    topology: Topology, info: RootInfo, gs: GlobalSchedule
+) -> PhasedSchedule:
+    """Run steps 1-6 and return the completed phased schedule."""
+    state = AssignmentState(topology, info, gs)
+    _step1_t0_to_others(state)
+    _step2_others_to_t0(state)
+    _step3_t0_locals(state)
+    _step4_down_ring_globals(state)
+    _step5_subtree_locals(state)
+    _step6_up_ring_globals(state)
+    return state.schedule
+
+
+# ----------------------------------------------------------------------
+# Step 1: t0 -> tj, receivers aligned, senders rotate.
+# ----------------------------------------------------------------------
+def _step1_t0_to_others(state: AssignmentState) -> None:
+    m0 = state.sizes[0]
+    for j in range(1, state.k):
+        g = state.gs.group(0, j)
+        mj = state.sizes[j]
+        offset = (g.start - state.T) % mj
+        pattern = rotate_pattern(m0, mj, receiver_offset=offset)
+        if g.start % m0 != 0:
+            raise SchedulingError(
+                f"group t0->t{j} starts at {g.start}, not a multiple of "
+                f"|M0|={m0}; extended ring invariant violated"
+            )
+        for q, (s, r) in enumerate(pattern):
+            p = g.start + q
+            state.add_global(p, 0, j, s, r)
+            state.t0_sender_idx[p] = s
+    if any(s is None for s in state.t0_sender_idx):
+        raise SchedulingError(
+            "t0's outgoing groups do not tile all phases; extended ring "
+            "invariant violated"
+        )
+
+
+# ----------------------------------------------------------------------
+# Step 2: ti -> t0, receivers by Table 3, senders broadcast.
+# ----------------------------------------------------------------------
+def _step2_others_to_t0(state: AssignmentState) -> None:
+    m0 = state.sizes[0]
+    for i in range(1, state.k):
+        g = state.gs.group(i, 0)
+        if g.start % m0 != 0:
+            raise SchedulingError(
+                f"group t{i}->t0 starts at {g.start}, not a multiple of "
+                f"|M0|={m0}; Table 3 rounds would misalign"
+            )
+        for p in range(g.start, g.end):
+            q = p - g.start
+            sender_idx = q // m0  # broadcast: t_{i,0}, t_{i,1}, ...
+            round_index = p // m0
+            t0_sender = state.t0_sender_idx[p]
+            assert t0_sender is not None  # step 1 filled every phase
+            receiver_idx = table3_receiver(t0_sender, round_index, m0)
+            state.add_global(p, i, 0, sender_idx, receiver_idx)
+            state.t0_receiver_idx[p] = receiver_idx
+    if any(r is None for r in state.t0_receiver_idx):
+        raise SchedulingError(
+            "groups into t0 do not tile all phases; extended ring "
+            "invariant violated"
+        )
+
+
+# ----------------------------------------------------------------------
+# Step 3: local messages of t0 in the first |M0|*(|M0|-1) phases.
+# ----------------------------------------------------------------------
+def _step3_t0_locals(state: AssignmentState) -> None:
+    m0 = state.sizes[0]
+    span = m0 * (m0 - 1)
+    if span > state.T:
+        raise SchedulingError(
+            f"cannot embed t0's {span} local messages in {state.T} phases; "
+            "Lemma 1 should have prevented this"
+        )
+    seen: Set[Tuple[int, int]] = set()
+    for p in range(span):
+        n = state.t0_receiver_idx[p]  # local sender: global receiver
+        m = state.t0_sender_idx[p]  # local receiver: global sender
+        assert n is not None and m is not None
+        if n == m:
+            raise SchedulingError(
+                f"phase {p} in t0's local window pairs machine t0,{n} with "
+                "itself; Table 3 mapping violated"
+            )
+        if (n, m) in seen:
+            raise SchedulingError(
+                f"t0 local pair t0,{n}->t0,{m} appears twice in the local "
+                "window; Table 3 mapping violated"
+            )
+        seen.add((n, m))
+        state.add_local(p, 0, n, m)
+    expected = {(n, m) for n in range(m0) for m in range(m0) if n != m}
+    if seen != expected:
+        missing = sorted(expected - seen)
+        raise SchedulingError(
+            f"t0 local messages not fully embedded; missing pairs {missing}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Step 4: ti -> tj for i > j >= 1, broadcast with aligned receivers.
+# ----------------------------------------------------------------------
+def _step4_down_ring_globals(state: AssignmentState) -> None:
+    for i in range(2, state.k):
+        for j in range(1, i):
+            g = state.gs.group(i, j)
+            mi, mj = state.sizes[i], state.sizes[j]
+            offset = (g.start - state.T) % mj
+            if offset != 0:
+                raise SchedulingError(
+                    f"group t{i}->t{j} start {g.start} breaks receiver "
+                    f"alignment (offset {offset}); step 5 would fail"
+                )
+            for q, (s, r) in enumerate(broadcast_pattern(mi, mj)):
+                state.add_global(g.start + q, i, j, s, r)
+
+
+# ----------------------------------------------------------------------
+# Step 5: local messages of ti (i >= 1) in the phases of ti -> t_{i-1}.
+# ----------------------------------------------------------------------
+def _step5_subtree_locals(state: AssignmentState) -> None:
+    for i in range(1, state.k):
+        mi = state.sizes[i]
+        if mi < 2:
+            continue  # no local messages in a single-machine subtree
+        g = state.gs.group(i, i - 1)
+        m_prev = state.sizes[i - 1]
+        needed: Set[Tuple[int, int]] = {
+            (i1, i2) for i1 in range(mi) for i2 in range(mi) if i1 != i2
+        }
+        for p in range(g.start, g.end):
+            q = p - g.start
+            designated = (p - state.T) % mi  # local sender
+            sender = q // m_prev  # global sender = local receiver
+            pair = (designated, sender)
+            if pair in needed:
+                needed.remove(pair)
+                state.add_local(p, i, designated, sender)
+        if needed:
+            raise SchedulingError(
+                f"could not embed {len(needed)} local messages of subtree "
+                f"{i} in the phases of t{i}->t{i - 1}: {sorted(needed)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Step 6: ti -> tj for 1 <= i < j; any coverage pattern works.
+# ----------------------------------------------------------------------
+def _step6_up_ring_globals(state: AssignmentState) -> None:
+    for i in range(1, state.k):
+        for j in range(i + 1, state.k):
+            g = state.gs.group(i, j)
+            mi, mj = state.sizes[i], state.sizes[j]
+            for q, (s, r) in enumerate(broadcast_pattern(mi, mj)):
+                state.add_global(g.start + q, i, j, s, r)

@@ -1,0 +1,145 @@
+"""Global message scheduling (Section 4.2, Figure 3).
+
+:class:`GlobalSchedule` materialises the extended ring schedule: for
+every ordered subtree pair it records the half-open interval of phases
+in which the group's ``|M_i| * |M_j|`` messages run, and offers the
+inverse queries ("which group does subtree ``i`` send to / receive from
+in phase ``p``?") that the assignment step needs.
+
+Lemma 2's properties — total phase count ``|M_0| * (|M| - |M_0|)`` and
+at most one sending and one receiving group per subtree per phase — are
+asserted at construction time, so downstream code can rely on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.ring import group_interval, total_phases
+
+
+@dataclass(frozen=True)
+class GroupInterval:
+    """Phases ``[start, end)`` carrying the messages of ``t_i -> t_j``."""
+
+    i: int
+    j: int
+    start: int
+    end: int
+
+    def __contains__(self, phase: int) -> bool:
+        return self.start <= phase < self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def local(self, phase: int) -> int:
+        """Offset of *phase* inside the group (the pattern index ``q``)."""
+        if phase not in self:
+            raise SchedulingError(
+                f"phase {phase} outside group t{self.i}->t{self.j} "
+                f"[{self.start}, {self.end})"
+            )
+        return phase - self.start
+
+
+class GlobalSchedule:
+    """Phase intervals for all inter-subtree groups.
+
+    Parameters
+    ----------
+    sizes:
+        Machine counts ``(|M_0|, ..., |M_{k-1}|)``, non-increasing.
+    """
+
+    def __init__(self, sizes: Sequence[int]) -> None:
+        self.sizes: Tuple[int, ...] = tuple(sizes)
+        self.k = len(self.sizes)
+        self.num_phases = total_phases(self.sizes)
+        self._groups: Dict[Tuple[int, int], GroupInterval] = {}
+        for i in range(self.k):
+            for j in range(self.k):
+                if i == j:
+                    continue
+                start, end = group_interval(i, j, self.sizes)
+                self._groups[(i, j)] = GroupInterval(i, j, start, end)
+        # Inverse maps: for each subtree and phase, the active group.
+        self._sender_at: List[List[Optional[int]]] = [
+            [None] * self.num_phases for _ in range(self.k)
+        ]
+        self._receiver_at: List[List[Optional[int]]] = [
+            [None] * self.num_phases for _ in range(self.k)
+        ]
+        for (i, j), g in self._groups.items():
+            for p in range(g.start, g.end):
+                if self._sender_at[i][p] is not None:
+                    raise SchedulingError(
+                        f"Lemma 2 violated: subtree {i} sends to two groups "
+                        f"in phase {p} (to {self._sender_at[i][p]} and {j})"
+                    )
+                if self._receiver_at[j][p] is not None:
+                    raise SchedulingError(
+                        f"Lemma 2 violated: subtree {j} receives two groups "
+                        f"in phase {p} (from {self._receiver_at[j][p]} and {i})"
+                    )
+                self._sender_at[i][p] = j
+                self._receiver_at[j][p] = i
+
+    # ------------------------------------------------------------------
+    def group(self, i: int, j: int) -> GroupInterval:
+        """The interval of group ``t_i -> t_j``."""
+        try:
+            return self._groups[(i, j)]
+        except KeyError:
+            raise SchedulingError(f"no group t{i}->t{j}") from None
+
+    def groups(self) -> List[GroupInterval]:
+        """All groups, ordered by (start phase, i, j)."""
+        return sorted(self._groups.values(), key=lambda g: (g.start, g.i, g.j))
+
+    def destination_of(self, i: int, phase: int) -> Optional[int]:
+        """Subtree that ``t_i`` sends to in *phase*, or None if idle."""
+        self._check_phase(phase)
+        return self._sender_at[i][phase]
+
+    def source_of(self, j: int, phase: int) -> Optional[int]:
+        """Subtree that sends into ``t_j`` in *phase*, or None if idle."""
+        self._check_phase(phase)
+        return self._receiver_at[j][phase]
+
+    def active_groups(self, phase: int) -> List[GroupInterval]:
+        """Groups with a message in *phase* (one per sending subtree)."""
+        self._check_phase(phase)
+        out = []
+        for i in range(self.k):
+            j = self._sender_at[i][phase]
+            if j is not None:
+                out.append(self._groups[(i, j)])
+        return out
+
+    def _check_phase(self, phase: int) -> None:
+        if not 0 <= phase < self.num_phases:
+            raise SchedulingError(
+                f"phase {phase} out of range [0, {self.num_phases})"
+            )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII rendering in the style of the paper's Figure 3."""
+        lines = [f"phases: {self.num_phases}  sizes: {list(self.sizes)}"]
+        for g in self.groups():
+            bar = (
+                " " * g.start
+                + "#" * g.length
+                + " " * (self.num_phases - g.end)
+            )
+            lines.append(f"t{g.i}->t{g.j} |{bar}|")
+        return "\n".join(lines)
+
+
+def build_global_schedule(sizes: Sequence[int]) -> GlobalSchedule:
+    """Construct and sanity-check the extended ring global schedule."""
+    return GlobalSchedule(sizes)

@@ -1,0 +1,205 @@
+"""Irregular personalized communication (MPI_Alltoallv) scheduling.
+
+The paper handles the *regular* pattern where every pair exchanges
+``msize`` bytes; its related work cites heuristics for the irregular
+case ([10], Liu/Wang/Prasanna).  This module extends the library to
+irregular patterns in the paper's spirit:
+
+* messages are packed into **contention-free phases** exactly as in the
+  regular case (so the pair-wise sync machinery applies unchanged), but
+* a phase's duration is governed by its *largest* message, so the
+  packer must also balance sizes.
+
+:func:`schedule_irregular` implements largest-first first-fit packing
+with a size-compatibility window: a message only joins a phase whose
+current maximum is within ``balance`` of its own size, which keeps tiny
+messages from riding (and wasting) huge phases.  Two lower bounds frame
+the result: the per-edge byte bottleneck (how long the busiest link
+must transmit) and the per-endpoint serialization bound.
+
+For the regular pattern this degenerates gracefully: every message has
+the same size, the window never splits phases, and the packing is plain
+first-fit (though the paper's own scheduler — provably optimal there —
+remains the right tool; see :func:`repro.core.scheduler.schedule_aapc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError, VerificationError
+from repro.core.pattern import Message
+from repro.core.schedule import MessageKind, PhasedSchedule
+from repro.topology.graph import Edge, Topology
+from repro.topology.paths import PathOracle
+
+#: Per-pair byte counts: sizes[(src, dst)] -> bytes (missing/0 = no message).
+SizeMap = Mapping[Tuple[str, str], int]
+
+
+@dataclass
+class IrregularSchedule:
+    """A phased schedule for an irregular pattern, with size metadata."""
+
+    schedule: PhasedSchedule
+    sizes: Dict[Tuple[str, str], int]
+    #: Duration-dominating size per phase (bytes).
+    phase_sizes: List[int]
+
+    @property
+    def num_phases(self) -> int:
+        return self.schedule.num_phases
+
+    def makespan_bytes(self) -> int:
+        """Serial bytes of the schedule: sum of per-phase maxima.
+
+        Dividing by the link bandwidth gives the no-overlap completion
+        estimate the packer optimises.
+        """
+        return sum(self.phase_sizes)
+
+
+def validate_sizes(topology: Topology, sizes: SizeMap) -> Dict[Tuple[str, str], int]:
+    """Normalise a size map: known machines, no self-messages, sizes > 0."""
+    machines = set(topology.machines)
+    clean: Dict[Tuple[str, str], int] = {}
+    for (src, dst), nbytes in sizes.items():
+        if src not in machines or dst not in machines:
+            raise SchedulingError(f"unknown machine in pair ({src!r}, {dst!r})")
+        if src == dst:
+            raise SchedulingError(f"self-message {src!r} -> {dst!r}")
+        if nbytes < 0:
+            raise SchedulingError(f"negative size for ({src!r}, {dst!r})")
+        if nbytes > 0:
+            clean[(src, dst)] = int(nbytes)
+    return clean
+
+
+def edge_byte_loads(
+    topology: Topology, sizes: SizeMap, oracle: Optional[PathOracle] = None
+) -> Dict[Edge, int]:
+    """Bytes each directed edge must carry for the pattern."""
+    if oracle is None:
+        oracle = PathOracle(topology)
+    loads: Dict[Edge, int] = {e: 0 for e in topology.directed_edges()}
+    for (src, dst), nbytes in validate_sizes(topology, sizes).items():
+        for edge in oracle.path_edges(src, dst):
+            loads[edge] += nbytes
+    return loads
+
+
+def bandwidth_lower_bound(
+    topology: Topology, sizes: SizeMap, bandwidth: float
+) -> float:
+    """Completion-time lower bound: busiest link bytes / bandwidth.
+
+    The irregular analogue of the paper's Section 3 bound.
+    """
+    loads = edge_byte_loads(topology, sizes)
+    if not loads:
+        return 0.0
+    return max(loads.values()) / bandwidth
+
+
+def schedule_irregular(
+    topology: Topology,
+    sizes: SizeMap,
+    *,
+    balance: float = 2.0,
+    oracle: Optional[PathOracle] = None,
+) -> IrregularSchedule:
+    """Pack an irregular pattern into contention-free, size-bucketed phases.
+
+    Parameters
+    ----------
+    balance:
+        Size-compatibility window: a message of ``s`` bytes may join a
+        phase whose current dominating size ``m`` satisfies
+        ``m <= balance * s`` (and conversely ``s <= m`` by the
+        largest-first order), bounding per-phase waste to the factor
+        *balance*.  ``float("inf")`` disables bucketing (pure first-fit).
+    """
+    if balance < 1.0:
+        raise SchedulingError("balance must be >= 1")
+    if oracle is None:
+        oracle = PathOracle(topology)
+    clean = validate_sizes(topology, sizes)
+    # Largest first: dominating sizes are fixed early, later (smaller)
+    # messages fill the gaps.  Ties broken by name for determinism.
+    order = sorted(clean, key=lambda pair: (-clean[pair], pair))
+
+    phase_edges: List[set] = []
+    phase_max: List[int] = []
+    buckets: List[List[Tuple[str, str]]] = []
+    for pair in order:
+        nbytes = clean[pair]
+        edges = oracle.path_edge_set(*pair)
+        placed = False
+        for i in range(len(buckets)):
+            if phase_max[i] > balance * nbytes:
+                continue  # too large a phase for this message
+            if phase_edges[i] & edges:
+                continue
+            phase_edges[i].update(edges)
+            buckets[i].append(pair)
+            placed = True
+            break
+        if not placed:
+            phase_edges.append(set(edges))
+            phase_max.append(nbytes)
+            buckets.append([pair])
+
+    schedule = PhasedSchedule(topology, len(buckets))
+    for p, bucket in enumerate(buckets):
+        for src, dst in bucket:
+            schedule.add(p, Message(src, dst), MessageKind.GLOBAL)
+    return IrregularSchedule(
+        schedule=schedule, sizes=clean, phase_sizes=phase_max
+    )
+
+
+def verify_irregular(
+    result: IrregularSchedule, oracle: Optional[PathOracle] = None
+) -> None:
+    """Check contention freedom, completeness and size bookkeeping."""
+    schedule = result.schedule
+    if oracle is None:
+        oracle = PathOracle(schedule.topology)
+    # contention freedom phase by phase
+    for p, phase in enumerate(schedule.phases()):
+        used: Dict[Edge, str] = {}
+        for sm in phase:
+            for edge in oracle.path_edges(sm.src, sm.dst):
+                if edge in used:
+                    raise VerificationError(
+                        f"phase {p}: {used[edge]} and {sm.message} contend"
+                    )
+                used[edge] = str(sm.message)
+    # completeness: exactly the positive-size pairs
+    scheduled = {sm.message.as_tuple() for sm in schedule.all_messages()}
+    if scheduled != set(result.sizes):
+        missing = set(result.sizes) - scheduled
+        extra = scheduled - set(result.sizes)
+        raise VerificationError(
+            f"irregular schedule mismatch: missing {sorted(missing)[:5]}, "
+            f"extra {sorted(extra)[:5]}"
+        )
+    # phase size = max member size
+    for p, phase in enumerate(schedule.phases()):
+        biggest = max(result.sizes[sm.message.as_tuple()] for sm in phase)
+        if biggest != result.phase_sizes[p]:
+            raise VerificationError(
+                f"phase {p} dominating size recorded {result.phase_sizes[p]} "
+                f"but members reach {biggest}"
+            )
+
+
+def uniform_sizes(topology: Topology, msize: int) -> Dict[Tuple[str, str], int]:
+    """The regular AAPC pattern expressed as a size map (for testing)."""
+    return {
+        (src, dst): msize
+        for src in topology.machines
+        for dst in topology.machines
+        if src != dst
+    }

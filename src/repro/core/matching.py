@@ -1,0 +1,81 @@
+"""Bipartite matching utilities (Hopcroft–Karp).
+
+The constructive step-3/step-5 embeddings of Figure 4 always succeed on
+valid inputs, but the scheduler also ships a matching-based fallback
+(:func:`repro.core.scheduler.schedule_aapc` with
+``local_embedding="matching"``): local messages are matched to feasible
+phases by maximum bipartite matching.  This both provides defence in
+depth for exotic topologies and serves as an independent oracle in the
+test suite (the constructive embedding must never do worse).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+INFINITY = float("inf")
+
+
+def hopcroft_karp(adjacency: Sequence[Sequence[int]], num_right: int) -> List[Optional[int]]:
+    """Maximum bipartite matching.
+
+    Parameters
+    ----------
+    adjacency:
+        ``adjacency[u]`` lists the right-side vertices adjacent to left
+        vertex ``u``.
+    num_right:
+        Number of right-side vertices.
+
+    Returns
+    -------
+    list
+        ``match[u]`` is the right vertex matched to left vertex ``u`` or
+        ``None`` if unmatched.  Runs in ``O(E * sqrt(V))``.
+    """
+    num_left = len(adjacency)
+    match_left: List[Optional[int]] = [None] * num_left
+    match_right: List[Optional[int]] = [None] * num_right
+    dist: List[float] = [0.0] * num_left
+
+    def bfs() -> bool:
+        queue: deque = deque()
+        for u in range(num_left):
+            if match_left[u] is None:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = INFINITY
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w is None:
+                    found = True
+                elif dist[w] == INFINITY:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w is None or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INFINITY
+        return False
+
+    while bfs():
+        for u in range(num_left):
+            if match_left[u] is None:
+                dfs(u)
+    return match_left
+
+
+def matching_size(match_left: Sequence[Optional[int]]) -> int:
+    """Number of matched left vertices."""
+    return sum(1 for v in match_left if v is not None)

@@ -1,0 +1,64 @@
+"""Messages and communication patterns (paper Section 3).
+
+A *message* ``u -> v`` is a transmission from machine ``u`` to machine
+``v``; a *pattern* is a set of messages; the *AAPC pattern* on a cluster
+is ``{u -> v : u != v, u, v in M}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True, order=True)
+class Message:
+    """A point-to-point message between two machines."""
+
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise SchedulingError(
+                f"message from {self.src!r} to itself is not a valid AAPC message"
+            )
+
+    def reversed(self) -> "Message":
+        """The message in the opposite direction."""
+        return Message(self.dst, self.src)
+
+    def as_tuple(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+
+def aapc_messages(topology: Topology) -> List[Message]:
+    """The AAPC pattern: every machine sends to every other machine.
+
+    Messages are ordered by (source rank, destination rank), which gives
+    a canonical enumeration used by the completeness verifier.
+    """
+    machines = topology.machines
+    return [
+        Message(src, dst)
+        for src in machines
+        for dst in machines
+        if src != dst
+    ]
+
+
+def aapc_message_set(topology: Topology) -> Set[Message]:
+    """The AAPC pattern as a set, for O(1) membership tests."""
+    return set(aapc_messages(topology))
+
+
+def message_count(topology: Topology) -> int:
+    """``|M| * (|M| - 1)`` — the number of messages in AAPC."""
+    m = topology.num_machines
+    return m * (m - 1)

@@ -1,0 +1,103 @@
+"""Broadcast and rotate patterns for realising ``t_i -> t_j`` (Section 4.3).
+
+Both patterns pick, for each of the group's ``|M_i| * |M_j|`` phases, a
+(sender index, receiver index) pair such that every sender/receiver pair
+occurs exactly once.
+
+*Broadcast* (Lemma 5): the phases split into ``|M_i|`` rounds of
+``|M_j]`` phases; round ``r`` is sender ``t_{i,r}`` sending to each
+receiver in turn — every sender occupies ``|M_j|`` consecutive phases.
+
+*Rotate* (Lemma 6, Table 2): with ``D = gcd(|M_i|, |M_j|)``,
+``a = |M_i|/D``, ``b = |M_j|/D``, receivers repeat a fixed enumeration of
+``t_j`` while senders repeat the base sequence ``b`` times per rotation
+block of ``a*b*D`` phases, rotating the base sequence once per block —
+every sender occurs once per ``|M_i|`` consecutive phases and every
+receiver once per ``|M_j|``.
+
+Receiver enumerations may be cyclically shifted (``receiver_offset``) so
+that the group's receivers align with the paper's global alignment rule
+"at phase ``p``, ``t_{j,(p - |M0|*(|M|-|M0|)) mod |Mj|}`` is the
+receiver"; the proof in DESIGN.md shows coverage is preserved for any
+offset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import SchedulingError
+
+#: One (sender index, receiver index) assignment per local phase.
+PairPattern = List[Tuple[int, int]]
+
+
+def broadcast_pattern(
+    mi: int, mj: int, *, receiver_offset: int = 0
+) -> PairPattern:
+    """The broadcast pattern realising ``t_i -> t_j``.
+
+    Local phase ``q`` maps to sender ``q // mj`` and receiver
+    ``(q + receiver_offset) mod mj``, i.e. sender ``t_{i,r}`` owns round
+    ``r`` and sweeps all receivers (Lemma 5).
+    """
+    _check(mi, mj)
+    return [
+        (q // mj, (q + receiver_offset) % mj)
+        for q in range(mi * mj)
+    ]
+
+
+def rotate_pattern(
+    mi: int, mj: int, *, receiver_offset: int = 0
+) -> PairPattern:
+    """The rotate pattern realising ``t_i -> t_j`` (Table 2).
+
+    Local phase ``q`` maps to receiver ``(q + receiver_offset) mod mj``
+    and sender ``(q + q // (a*b*D)) mod mi`` — the base sender sequence
+    repeated ``b`` times per block, rotated once per block.
+    """
+    _check(mi, mj)
+    d = math.gcd(mi, mj)
+    block = (mi // d) * (mj // d) * d  # a * b * D
+    return [
+        ((q + q // block) % mi, (q + receiver_offset) % mj)
+        for q in range(mi * mj)
+    ]
+
+
+def pattern_covers_all_pairs(pattern: PairPattern, mi: int, mj: int) -> bool:
+    """True when the pattern realises every (sender, receiver) pair once."""
+    if len(pattern) != mi * mj:
+        return False
+    return len(set(pattern)) == mi * mj
+
+
+def senders_once_per_window(pattern: PairPattern, mi: int) -> bool:
+    """Lemma 6 sender property: each window of ``mi`` phases has all senders.
+
+    Checked on aligned windows (the form the assignment algorithm relies
+    on: groups start at multiples of ``|M_i|``).
+    """
+    for start in range(0, len(pattern), mi):
+        window = [s for s, _ in pattern[start : start + mi]]
+        if len(window) == mi and len(set(window)) != mi:
+            return False
+    return True
+
+
+def receivers_once_per_window(pattern: PairPattern, mj: int) -> bool:
+    """Lemma 6 receiver property on aligned windows of ``mj`` phases."""
+    for start in range(0, len(pattern), mj):
+        window = [r for _, r in pattern[start : start + mj]]
+        if len(window) == mj and len(set(window)) != mj:
+            return False
+    return True
+
+
+def _check(mi: int, mj: int) -> None:
+    if mi < 1 or mj < 1:
+        raise SchedulingError(
+            f"pattern sizes must be positive, got |Mi|={mi}, |Mj|={mj}"
+        )

@@ -1,0 +1,84 @@
+"""Ring scheduling and the extended ring phase formulas (Section 4.2).
+
+For ``k`` single-machine subtrees the classic ring schedule (paper
+Table 1) places ``t_i -> t_j`` at phase ``j - i - 1`` when ``j > i`` and
+``(k - 1) - (i - j)`` when ``i > j``, finishing in ``k - 1`` phases.
+
+The *extended* ring schedule generalises to subtrees of any size: the
+group of ``|M_i| * |M_j|`` messages ``t_i -> t_j`` occupies that many
+consecutive phases, starting at
+
+* ``|M_i| * sum_{k=i+1}^{j-1} |M_k|``                       for ``j > i``
+* ``|M_0|*(|M|-|M_0|) - |M_j| * sum_{k=j+1}^{i} |M_k|``     for ``i > j``
+
+so every subtree sends to the others in the same cyclic order as the
+ring, and Lemma 2 guarantees the root links carry at most one group per
+direction per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SchedulingError
+
+
+def ring_phase(i: int, j: int, k: int) -> int:
+    """Phase of message ``t_i -> t_j`` in the Table 1 ring schedule."""
+    if i == j:
+        raise SchedulingError("ring schedule has no self-messages")
+    if not (0 <= i < k and 0 <= j < k):
+        raise SchedulingError(f"subtree index out of range: ({i}, {j}) with k={k}")
+    if j > i:
+        return j - i - 1
+    return (k - 1) - (i - j)
+
+
+def ring_schedule(k: int) -> List[List[Tuple[int, int]]]:
+    """The full Table 1 schedule: ``k - 1`` phases of ``k`` messages each.
+
+    Phase ``p`` contains ``t_i -> t_{(i + p + 1) mod k}`` for every
+    ``i`` — each subtree sends and receives exactly once per phase.
+    """
+    if k < 2:
+        raise SchedulingError(f"ring schedule needs k >= 2 subtrees, got {k}")
+    phases: List[List[Tuple[int, int]]] = []
+    for p in range(k - 1):
+        phases.append([(i, (i + p + 1) % k) for i in range(k)])
+    return phases
+
+
+def total_phases(sizes: Sequence[int]) -> int:
+    """``|M_0| * (|M| - |M_0|)`` for subtree sizes sorted non-increasing."""
+    _check_sizes(sizes)
+    return sizes[0] * (sum(sizes) - sizes[0])
+
+
+def group_start(i: int, j: int, sizes: Sequence[int]) -> int:
+    """First phase of group ``t_i -> t_j`` under extended ring scheduling."""
+    _check_sizes(sizes)
+    k = len(sizes)
+    if i == j or not (0 <= i < k and 0 <= j < k):
+        raise SchedulingError(f"invalid subtree pair ({i}, {j}) for k={k}")
+    if j > i:
+        return sizes[i] * sum(sizes[i + 1 : j])
+    return total_phases(sizes) - sizes[j] * sum(sizes[j + 1 : i + 1])
+
+
+def group_interval(i: int, j: int, sizes: Sequence[int]) -> Tuple[int, int]:
+    """Half-open phase interval ``[start, end)`` of group ``t_i -> t_j``."""
+    start = group_start(i, j, sizes)
+    return start, start + sizes[i] * sizes[j]
+
+
+def _check_sizes(sizes: Sequence[int]) -> None:
+    if len(sizes) < 2:
+        raise SchedulingError(
+            f"extended ring scheduling needs at least 2 subtrees, got {len(sizes)}"
+        )
+    if any(s < 1 for s in sizes):
+        raise SchedulingError(f"subtree sizes must be positive: {list(sizes)}")
+    if any(sizes[n] < sizes[n + 1] for n in range(len(sizes) - 1)):
+        raise SchedulingError(
+            f"subtree sizes must be non-increasing: {list(sizes)}"
+        )

@@ -1,0 +1,110 @@
+"""JSON import/export of phased schedules.
+
+The generated schedule is a topology-specific artifact worth shipping
+alongside the generated C routine — external tools (visualisers, other
+runtimes) can consume it without running the scheduler.  The format is
+versioned JSON pairing the topology text with the phase list.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import IO, Union
+
+from repro.core.pattern import Message
+from repro.core.schedule import MessageKind, PhasedSchedule
+from repro.core.root import RootInfo, Subtree
+from repro.errors import ReproError
+from repro.topology.serialization import dumps_topology, loads_topology
+
+SCHEMA_VERSION = 1
+
+
+def schedule_to_dict(schedule: PhasedSchedule) -> dict:
+    """A JSON-serialisable dict for a phased schedule."""
+    data = {
+        "schema": SCHEMA_VERSION,
+        "topology": dumps_topology(schedule.topology),
+        "num_phases": schedule.num_phases,
+        "phases": [
+            [
+                {
+                    "src": sm.src,
+                    "dst": sm.dst,
+                    "kind": sm.kind.value,
+                    "group": list(sm.group),
+                }
+                for sm in schedule.phase(p)
+            ]
+            for p in range(schedule.num_phases)
+        ],
+    }
+    if schedule.root_info is not None:
+        data["root"] = {
+            "switch": schedule.root_info.root,
+            "subtrees": [
+                {"branch": t.branch, "machines": list(t.machines)}
+                for t in schedule.root_info.subtrees
+            ],
+        }
+    return data
+
+
+def schedule_from_dict(data: dict) -> PhasedSchedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported schedule schema {data.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    topology = loads_topology(data["topology"])
+    root_info = None
+    if "root" in data:
+        root_info = RootInfo(
+            root=data["root"]["switch"],
+            subtrees=tuple(
+                Subtree(branch=t["branch"], machines=tuple(t["machines"]))
+                for t in data["root"]["subtrees"]
+            ),
+        )
+    schedule = PhasedSchedule(topology, int(data["num_phases"]), root_info)
+    for p, phase in enumerate(data["phases"]):
+        for entry in phase:
+            schedule.add(
+                p,
+                Message(entry["src"], entry["dst"]),
+                MessageKind(entry["kind"]),
+                tuple(entry["group"]),
+            )
+    return schedule
+
+
+def save_schedule(schedule: PhasedSchedule, sink: Union[str, IO[str]]) -> None:
+    if isinstance(sink, str):
+        with open(sink, "w", encoding="utf-8") as fh:
+            save_schedule(schedule, fh)
+            return
+    json.dump(schedule_to_dict(schedule), sink, indent=2, sort_keys=True)
+    sink.write("\n")
+
+
+def load_schedule(source: Union[str, IO[str]]) -> PhasedSchedule:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_schedule(fh)
+    try:
+        data = json.load(source)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt schedule file: {exc}") from exc
+    return schedule_from_dict(data)
+
+
+def dumps_schedule(schedule: PhasedSchedule) -> str:
+    buf = io.StringIO()
+    save_schedule(schedule, buf)
+    return buf.getvalue()
+
+
+def loads_schedule(text: str) -> PhasedSchedule:
+    return load_schedule(io.StringIO(text))

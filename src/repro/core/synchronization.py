@@ -1,0 +1,323 @@
+"""Pair-wise synchronization planning (paper Section 5).
+
+To preserve the contention-free schedule without per-phase barriers, the
+generated routine inserts *pair-wise synchronizations*: when messages
+``a -> b`` (phase ``p``) and ``c -> d`` (phase ``q > p``) contend, a
+small control message from ``a`` to ``c`` delays ``c -> d`` until
+``a -> b`` has finished.  Synchronizations derivable from others are
+*redundant* and removed.
+
+Implementation notes
+--------------------
+
+* **Conflict dependences.**  Within a phase the schedule is contention
+  free, so each directed tree edge is used by at most one message per
+  phase.  Ordering the *consecutive* users of each tree edge is enough:
+  transitivity then orders every conflicting pair on that edge.  This is
+  a sound sparse subset of the paper's "every communication vs. every
+  later communication" dependence graph.
+* **Program-order elision.**  The generated code (and our executor)
+  completes all of a rank's phase-``p`` operations before starting phase
+  ``q > p``.  Hence a dependence whose later sender already participated
+  in the earlier message (``src(m2) ∈ {src(m1), dst(m1)}``) needs no
+  sync message.  These free orderings — and their propagation along each
+  rank's participation chain — are modelled as zero-cost edges.
+* **Redundant-sync elimination.**  A dependence edge is redundant when
+  an alternative path (free edges plus other dependences) already orders
+  the pair; removing all such edges at once yields the unique transitive
+  reduction of the DAG.  Reachability uses per-node bitsets in reverse
+  phase order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.schedule import PhasedSchedule, ScheduledMessage
+from repro.topology.graph import Edge
+from repro.topology.paths import PathOracle
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """A control message enforcing ``after`` finishes before ``before`` starts.
+
+    ``src`` is the sender of the earlier data message (it knows when its
+    transmission completed); ``dst`` is the sender of the later data
+    message (it must not post before hearing the sync).
+    """
+
+    after: ScheduledMessage
+    before: ScheduledMessage
+
+    @property
+    def src(self) -> str:
+        return self.after.src
+
+    @property
+    def dst(self) -> str:
+        return self.before.src
+
+    def __str__(self) -> str:
+        return f"sync[{self.after.message} => {self.before.message}]"
+
+
+@dataclass
+class SyncStats:
+    """Bookkeeping for the ablation benchmarks."""
+
+    num_messages: int = 0
+    num_conflict_deps: int = 0
+    num_program_order_free: int = 0
+    num_before_reduction: int = 0
+    num_after_reduction: int = 0
+
+    @property
+    def removed_by_reduction(self) -> int:
+        return self.num_before_reduction - self.num_after_reduction
+
+
+@dataclass
+class SyncPlan:
+    """The synchronization messages for a phased schedule."""
+
+    schedule: PhasedSchedule
+    syncs: List[SyncMessage]
+    stats: SyncStats = field(default_factory=SyncStats)
+
+    def syncs_into(self, message: ScheduledMessage) -> List[SyncMessage]:
+        """Syncs that must arrive before *message* may start."""
+        return [s for s in self.syncs if s.before == message]
+
+    def syncs_after(self, message: ScheduledMessage) -> List[SyncMessage]:
+        """Syncs to send once *message* completes."""
+        return [s for s in self.syncs if s.after == message]
+
+
+def build_sync_plan(
+    schedule: PhasedSchedule,
+    *,
+    oracle: Optional[PathOracle] = None,
+    elide_program_order: bool = True,
+    remove_redundant: bool = True,
+) -> SyncPlan:
+    """Compute the pair-wise synchronization plan for *schedule*.
+
+    Parameters
+    ----------
+    elide_program_order:
+        Skip syncs already enforced by each rank's phased program order.
+    remove_redundant:
+        Apply redundant-synchronization elimination (transitive
+        reduction).  Disabling both flags reproduces the naive
+        "synchronize every conflicting pair of consecutive edge users"
+        plan that the ablation benchmark compares against.
+    """
+    if oracle is None:
+        oracle = PathOracle(schedule.topology)
+    messages = schedule.all_messages()
+    stats = SyncStats(num_messages=len(messages))
+    index: Dict[ScheduledMessage, int] = {m: i for i, m in enumerate(messages)}
+
+    deps = _conflict_dependences(schedule, oracle, index)
+    stats.num_conflict_deps = len(deps)
+
+    free = _program_order_edges(messages, index)
+
+    needs_sync: List[Tuple[int, int]] = []
+    for a, b in deps:
+        if elide_program_order and _directly_free(messages[a], messages[b]):
+            stats.num_program_order_free += 1
+        else:
+            needs_sync.append((a, b))
+    stats.num_before_reduction = len(needs_sync)
+
+    if remove_redundant and needs_sync:
+        kept = _transitive_reduction(
+            messages, needs_sync, free if elide_program_order else [], index
+        )
+    else:
+        kept = needs_sync
+    stats.num_after_reduction = len(kept)
+
+    syncs = [SyncMessage(messages[a], messages[b]) for a, b in kept]
+    syncs.sort(key=lambda s: (s.after.phase, s.before.phase, s.after.src))
+    return SyncPlan(schedule=schedule, syncs=syncs, stats=stats)
+
+
+# ----------------------------------------------------------------------
+def _conflict_dependences(
+    schedule: PhasedSchedule,
+    oracle: PathOracle,
+    index: Dict[ScheduledMessage, int],
+) -> List[Tuple[int, int]]:
+    """Deduplicated (earlier, later) pairs of consecutive users per edge."""
+    users: Dict[Edge, List[ScheduledMessage]] = {}
+    for sm in schedule.all_messages():
+        for edge in oracle.path_edges(sm.src, sm.dst):
+            users.setdefault(edge, []).append(sm)
+    deps: Set[Tuple[int, int]] = set()
+    for edge, msgs in users.items():
+        msgs.sort(key=lambda m: m.phase)
+        for earlier, later in zip(msgs, msgs[1:]):
+            if earlier.phase == later.phase:
+                raise SchedulingError(
+                    f"messages {earlier.message} and {later.message} share "
+                    f"edge {edge} in phase {earlier.phase}; schedule is not "
+                    "contention free"
+                )
+            deps.add((index[earlier], index[later]))
+    return sorted(deps)
+
+
+def _directly_free(m1: ScheduledMessage, m2: ScheduledMessage) -> bool:
+    """True when phased program order alone enforces ``m1 before m2``.
+
+    The later message's *sender* must know ``m1`` finished without a
+    control message: it either sent ``m1`` itself (it waited for the
+    send to complete before advancing past ``m1``'s phase) or received
+    it.  The paper makes the same assumption — it inserts syncs even for
+    consecutive messages *into* the same node ("contention in end
+    nodes"), i.e. it does not rely on receiver-side pacing.
+    """
+    return m2.src in (m1.src, m1.dst)
+
+
+def _program_order_edges(
+    messages: Sequence[ScheduledMessage],
+    index: Dict[ScheduledMessage, int],
+) -> List[Tuple[int, int]]:
+    """Sparse generators of the sender-anchored happens-before relation.
+
+    What phased execution guarantees without control messages: a rank
+    completes all of its phase-``p`` operations before *posting*
+    anything at a later phase.  Hence, for each rank ``r``:
+
+    * ``r``'s send at phase ``p`` finishes before ``r``'s sends at later
+      phases start (send-group chain), and
+    * a message received by ``r`` at phase ``p`` finishes before ``r``'s
+      first send at a later phase starts (receive -> next send).
+
+    Receiving does **not** order later *receives* at the same rank —
+    that would require receiver-side (rendezvous) pacing, which the
+    paper's generated code does not rely on.
+
+    The transitive closure of these edges is exactly the ordering
+    knowledge that propagates to senders, so redundancy decisions made
+    against it are sound for the generated programs.
+    """
+    sends_by_rank: Dict[str, List[ScheduledMessage]] = {}
+    recvs_by_rank: Dict[str, List[ScheduledMessage]] = {}
+    for sm in messages:
+        sends_by_rank.setdefault(sm.src, []).append(sm)
+        recvs_by_rank.setdefault(sm.dst, []).append(sm)
+
+    edges: Set[Tuple[int, int]] = set()
+    for rank, sends in sends_by_rank.items():
+        sends.sort(key=lambda m: m.phase)
+        # group same-phase sends (posted together: mutually unordered)
+        groups: List[List[ScheduledMessage]] = []
+        for sm in sends:
+            if groups and groups[-1][0].phase == sm.phase:
+                groups[-1].append(sm)
+            else:
+                groups.append([sm])
+        for g1, g2 in zip(groups, groups[1:]):
+            for a in g1:
+                for b in g2:
+                    edges.add((index[a], index[b]))
+        # each receive chains into the first strictly-later send group
+        group_phases = [g[0].phase for g in groups]
+        for recv in recvs_by_rank.get(rank, ()):
+            for phase, group in zip(group_phases, groups):
+                if phase > recv.phase:
+                    for b in group:
+                        edges.add((index[recv], index[b]))
+                    break
+    return sorted(edges)
+
+
+def _transitive_reduction(
+    messages: Sequence[ScheduledMessage],
+    deps: List[Tuple[int, int]],
+    free: List[Tuple[int, int]],
+    index: Dict[ScheduledMessage, int],
+) -> List[Tuple[int, int]]:
+    """Drop dependences with an alternative path (unique DAG reduction).
+
+    Reachability is computed once with per-node integer bitsets in
+    reverse phase order (every edge strictly increases the phase, so
+    phase order is a topological order).
+    """
+    n = len(messages)
+    succ: List[Set[int]] = [set() for _ in range(n)]
+    for a, b in deps:
+        succ[a].add(b)
+    for a, b in free:
+        succ[a].add(b)
+
+    order = sorted(range(n), key=lambda i: messages[i].phase)
+    reach: List[int] = [0] * n  # bitset of nodes reachable from i
+    for i in reversed(order):
+        acc = 0
+        for s in succ[i]:
+            acc |= (1 << s) | reach[s]
+        reach[i] = acc
+
+    kept: List[Tuple[int, int]] = []
+    for a, b in deps:
+        bit = 1 << b
+        redundant = False
+        for s in succ[a]:
+            if s == b:
+                continue
+            if (reach[s] | (1 << s)) & bit:
+                redundant = True
+                break
+        if not redundant:
+            kept.append((a, b))
+    return kept
+
+
+def verify_sync_plan(plan: SyncPlan, oracle: Optional[PathOracle] = None) -> None:
+    """Check that every conflicting cross-phase pair is ordered by the plan.
+
+    Orderings may come from kept syncs or phased program order.  Raises
+    :class:`SchedulingError` on the first uncovered pair.  Used by tests
+    (it is O(N^2) in the number of messages).
+    """
+    schedule = plan.schedule
+    if oracle is None:
+        oracle = PathOracle(schedule.topology)
+    messages = schedule.all_messages()
+    index = {m: i for i, m in enumerate(messages)}
+    n = len(messages)
+
+    succ: List[Set[int]] = [set() for _ in range(n)]
+    for a, b in _program_order_edges(messages, index):
+        succ[a].add(b)
+    for s in plan.syncs:
+        succ[index[s.after]].add(index[s.before])
+
+    order = sorted(range(n), key=lambda i: messages[i].phase)
+    reach: List[int] = [0] * n
+    for i in reversed(order):
+        acc = 0
+        for s in succ[i]:
+            acc |= (1 << s) | reach[s]
+        reach[i] = acc
+
+    for a in range(n):
+        for b in range(n):
+            ma, mb = messages[a], messages[b]
+            if ma.phase >= mb.phase:
+                continue
+            if not oracle.messages_conflict(ma.message.as_tuple(), mb.message.as_tuple()):
+                continue
+            if not (reach[a] >> b) & 1:
+                raise SchedulingError(
+                    f"conflicting pair unordered by sync plan: {ma.message} "
+                    f"(phase {ma.phase}) vs {mb.message} (phase {mb.phase})"
+                )

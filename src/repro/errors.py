@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without also catching unrelated Python
+errors.  The hierarchy mirrors the major subsystems: topology modelling,
+schedule construction, schedule verification, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """The topology is malformed (not a tree, bad node kinds, etc.)."""
+
+
+class TopologyFormatError(TopologyError):
+    """A topology description file could not be parsed."""
+
+
+class SchedulingError(ReproError):
+    """The scheduling pipeline could not construct a valid schedule."""
+
+
+class VerificationError(ReproError):
+    """A produced schedule violates one of the paper's invariants.
+
+    Raised by the verifiers in :mod:`repro.core.verify` when a schedule is
+    not contention free, misses messages, duplicates messages, or exceeds
+    the optimal phase count.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProgramError(ReproError):
+    """A per-rank communication program is malformed or deadlocks."""
+
+
+class CodegenError(ReproError):
+    """The C code generator was given an unsupported schedule."""

@@ -1,0 +1,161 @@
+"""The paper's experiments (Figures 6-8) plus ablations, as definitions.
+
+Each :class:`Experiment` bundles a topology, algorithm list, workload
+sweep and the paper's reference milliseconds, so the benchmark scripts
+and the CLI reproduce a figure with one call.  The reference tables are
+transcribed from the paper's Figures 6(a), 7(a) and 8(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.algorithms import GeneratedAlltoall, LamAlltoall, MpichSelector
+from repro.algorithms.base import AlltoallAlgorithm
+from repro.harness.runner import ExperimentResult, run_experiment
+from repro.harness.workloads import PAPER_MESSAGE_SIZES, Workload, message_size_sweep
+from repro.sim.params import NetworkParams
+from repro.topology.builder import (
+    topology_a,
+    topology_b,
+    topology_c,
+    tree_of_switches,
+)
+from repro.topology.graph import Topology
+from repro.units import kib
+
+#: Paper Figure 6(a): topology (a), milliseconds.
+PAPER_TABLE_A: Dict[str, Dict[int, float]] = {
+    "lam": {kib(8): 29.7, kib(16): 61.4, kib(32): 128.2, kib(64): 468.8, kib(128): 633.7, kib(256): 1157.0},
+    "mpich": {kib(8): 30.7, kib(16): 58.1, kib(32): 117.6, kib(64): 309.7, kib(128): 410.0, kib(256): 721.0},
+    "generated": {kib(8): 56.5, kib(16): 71.4, kib(32): 86.0, kib(64): 217.7, kib(128): 398.0, kib(256): 715.0},
+}
+
+#: Paper Figure 7(a): topology (b), milliseconds.
+PAPER_TABLE_B: Dict[str, Dict[int, float]] = {
+    "lam": {kib(8): 199.0, kib(16): 403.0, kib(32): 848.0, kib(64): 1827.0, kib(128): 3338.0, kib(256): 6550.0},
+    "mpich": {kib(8): 155.0, kib(16): 308.0, kib(32): 613.0, kib(64): 1374.0, kib(128): 2989.0, kib(256): 5405.0},
+    "generated": {kib(8): 212.0, kib(16): 341.0, kib(32): 632.0, kib(64): 1428.0, kib(128): 2595.0, kib(256): 4836.0},
+}
+
+#: Paper Figure 8(a): topology (c), milliseconds.
+PAPER_TABLE_C: Dict[str, Dict[int, float]] = {
+    "lam": {kib(8): 242.0, kib(16): 495.0, kib(32): 1034.0, kib(64): 2127.0, kib(128): 4080.0, kib(256): 8375.0},
+    "mpich": {kib(8): 238.0, kib(16): 476.0, kib(32): 958.0, kib(64): 2061.0, kib(128): 4379.0, kib(256): 8210.0},
+    "generated": {kib(8): 271.0, kib(16): 443.0, kib(32): 868.0, kib(64): 1700.0, kib(128): 3372.0, kib(256): 6396.0},
+}
+
+
+@dataclass
+class Experiment:
+    """A reproducible experiment definition."""
+
+    name: str
+    description: str
+    topology_factory: Callable[[], Topology]
+    algorithm_factories: Sequence[Callable[[], AlltoallAlgorithm]]
+    sizes: Sequence[int] = PAPER_MESSAGE_SIZES
+    repetitions: int = 3
+    reference: Optional[Dict[str, Dict[int, float]]] = None
+
+    def run(
+        self,
+        params: Optional[NetworkParams] = None,
+        *,
+        sizes: Optional[Sequence[int]] = None,
+        repetitions: Optional[int] = None,
+    ) -> ExperimentResult:
+        topology = self.topology_factory()
+        algorithms = [factory() for factory in self.algorithm_factories]
+        workloads = message_size_sweep(
+            sizes if sizes is not None else self.sizes,
+            repetitions=repetitions if repetitions is not None else self.repetitions,
+        )
+        return run_experiment(self.name, topology, algorithms, workloads, params)
+
+
+_COMPARISON = (LamAlltoall, MpichSelector, GeneratedAlltoall)
+
+experiment_topology_a = Experiment(
+    name="topology-a",
+    description=(
+        "Figure 6: 24 machines on a single switch; bottleneck = machine "
+        "links (load 23); peak aggregate throughput 2400 Mbps"
+    ),
+    topology_factory=topology_a,
+    algorithm_factories=_COMPARISON,
+    reference=PAPER_TABLE_A,
+)
+
+experiment_topology_b = Experiment(
+    name="topology-b",
+    description=(
+        "Figure 7: 32 machines, 8 per switch, star of 4 switches; "
+        "bottleneck = inter-switch links (load 192); peak 516.7 Mbps"
+    ),
+    topology_factory=topology_b,
+    algorithm_factories=_COMPARISON,
+    reference=PAPER_TABLE_B,
+)
+
+experiment_topology_c = Experiment(
+    name="topology-c",
+    description=(
+        "Figure 8: 32 machines, 8 per switch, chain of 4 switches; "
+        "bottleneck = middle link (load 256); peak 387.5 Mbps"
+    ),
+    topology_factory=topology_c,
+    algorithm_factories=_COMPARISON,
+    reference=PAPER_TABLE_C,
+)
+
+ablation_sync_modes = Experiment(
+    name="ablation-sync",
+    description=(
+        "Value of pair-wise synchronization: the generated schedule run "
+        "with pairwise syncs vs a barrier per phase vs no synchronization"
+    ),
+    topology_factory=topology_c,
+    algorithm_factories=(
+        GeneratedAlltoall,
+        lambda: GeneratedAlltoall(sync_mode="barrier"),
+        lambda: GeneratedAlltoall(sync_mode="none"),
+    ),
+)
+
+ablation_redundant_sync = Experiment(
+    name="ablation-redundant-sync",
+    description=(
+        "Redundant synchronization elimination: pairwise syncs with and "
+        "without transitive reduction (message counts reported separately)"
+    ),
+    topology_factory=topology_b,
+    algorithm_factories=(
+        GeneratedAlltoall,
+        lambda: GeneratedAlltoall(remove_redundant_syncs=False),
+    ),
+)
+
+experiment_deep_tree = Experiment(
+    name="deep-tree",
+    description=(
+        "Beyond the paper: 27 machines on a depth-3 ternary switch tree "
+        "(campus-style hierarchy); long root paths, nested bottlenecks"
+    ),
+    topology_factory=lambda: tree_of_switches(3, 3, 3),
+    algorithm_factories=_COMPARISON,
+)
+
+#: Registry for the CLI.
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.name: e
+    for e in (
+        experiment_topology_a,
+        experiment_topology_b,
+        experiment_topology_c,
+        ablation_sync_modes,
+        ablation_redundant_sync,
+        experiment_deep_tree,
+    )
+}

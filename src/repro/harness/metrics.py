@@ -1,0 +1,46 @@
+"""Metrics the paper reports: completion time, aggregate throughput, speedup."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.topology.analysis import peak_aggregate_throughput
+from repro.topology.graph import Topology
+from repro.units import bytes_per_sec_to_mbps
+
+
+def aggregate_throughput_mbps(
+    num_machines: int, msize: int, completion_time: float
+) -> float:
+    """Realised aggregate throughput in Mbps (paper Figures 6-8 part b).
+
+    ``|M| * (|M|-1) * msize`` bytes moved in *completion_time* seconds.
+    """
+    if completion_time <= 0:
+        raise ReproError("completion time must be positive")
+    bps = num_machines * (num_machines - 1) * msize / completion_time
+    return bytes_per_sec_to_mbps(bps)
+
+
+def peak_throughput_mbps(topology: Topology, bandwidth: float) -> float:
+    """The "Peak" line of the paper's throughput plots, in Mbps."""
+    return bytes_per_sec_to_mbps(peak_aggregate_throughput(topology, bandwidth))
+
+
+def speedup(baseline_time: float, our_time: float) -> float:
+    """The paper's speedup convention: ``baseline/ours - 1`` as a percent.
+
+    "a speed up of 115% over LAM" means LAM took 2.15x as long.
+    """
+    if our_time <= 0:
+        raise ReproError("completion time must be positive")
+    return (baseline_time / our_time - 1.0) * 100.0
+
+
+def completion_stats(samples: Sequence[float]) -> Tuple[float, float, float]:
+    """(mean, min, max) of repetition samples, like the paper's averaging."""
+    if not samples:
+        raise ReproError("no samples")
+    return (sum(samples) / len(samples), min(samples), max(samples))

@@ -1,0 +1,96 @@
+"""Paper-style table and series renderers.
+
+:func:`completion_table` prints the part-(a) completion-time tables and
+:func:`throughput_table` / :func:`render_throughput_series` the part-(b)
+aggregate-throughput plots of the paper's Figures 6-8, as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.metrics import peak_throughput_mbps, speedup
+from repro.harness.runner import ExperimentResult
+from repro.units import format_size, seconds_to_ms
+
+
+def completion_table(
+    result: ExperimentResult,
+    *,
+    reference: Optional[Dict[str, Dict[int, float]]] = None,
+) -> str:
+    """Render the completion-time table (mean ms per algorithm and size).
+
+    *reference* optionally holds the paper's measured milliseconds as
+    ``{algorithm: {msize: ms}}``; matching cells are printed alongside
+    for direct comparison.
+    """
+    algorithms = result.algorithms()
+    sizes = result.sizes()
+    header = ["msize".rjust(8)] + [a.rjust(18) for a in algorithms]
+    lines = [" ".join(header)]
+    for msize in sizes:
+        row = [format_size(msize).rjust(8)]
+        for a in algorithms:
+            point = result.cell(a, msize)
+            cell = f"{seconds_to_ms(point.mean_time):10.1f}ms"
+            if reference and a in reference and msize in reference[a]:
+                cell += f" ({reference[a][msize]:7.1f})"
+            row.append(cell.rjust(18))
+        lines.append(" ".join(row))
+    if reference:
+        lines.append("  (parenthesised values: paper's measured milliseconds)")
+    return "\n".join(lines)
+
+
+def throughput_table(result: ExperimentResult, *, peak_mbps: Optional[float] = None) -> str:
+    """Aggregate throughput (Mbps) per algorithm and size, plus the peak."""
+    algorithms = result.algorithms()
+    sizes = result.sizes()
+    header = ["msize".rjust(8)] + [a.rjust(14) for a in algorithms]
+    if peak_mbps is None:
+        peak_mbps = peak_throughput_mbps(result.topology, result.params.bandwidth)
+    header.append("peak".rjust(10))
+    lines = [" ".join(header)]
+    for msize in sizes:
+        row = [format_size(msize).rjust(8)]
+        for a in algorithms:
+            row.append(f"{result.cell(a, msize).throughput_mbps:12.1f}Mb".rjust(14))
+        row.append(f"{peak_mbps:8.1f}Mb".rjust(10))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_throughput_series(
+    result: ExperimentResult, *, width: int = 56
+) -> str:
+    """A text plot of the part-(b) figures: throughput vs message size."""
+    peak = peak_throughput_mbps(result.topology, result.params.bandwidth)
+    lines = [f"aggregate throughput (Mbps); peak = {peak:.1f}"]
+    scale = width / peak
+    for a in result.algorithms():
+        lines.append(f"{a}:")
+        for msize in result.sizes():
+            tp = result.cell(a, msize).throughput_mbps
+            bar = "#" * max(1, min(width, int(tp * scale)))
+            lines.append(f"  {format_size(msize):>6} |{bar:<{width}}| {tp:7.1f}")
+    lines.append(f"  peak   |{'=' * width}| {peak:7.1f}")
+    return "\n".join(lines)
+
+
+def speedup_summary(
+    result: ExperimentResult, ours: str = "generated"
+) -> str:
+    """Per-size speedup of *ours* over each baseline (paper's convention)."""
+    lines = []
+    for msize in result.sizes():
+        our_time = result.cell(ours, msize).mean_time
+        cells = []
+        for a in result.algorithms():
+            if a == ours:
+                continue
+            cells.append(
+                f"vs {a}: {speedup(result.cell(a, msize).mean_time, our_time):+6.1f}%"
+            )
+        lines.append(f"{format_size(msize):>6}  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Run experiment grids: topology x algorithm x workload, with repetitions.
+
+:func:`run_experiment` is the workhorse behind every benchmark: it
+builds each algorithm's programs once per message size, simulates each
+seeded repetition, and returns a queryable :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import AlltoallAlgorithm
+from repro.errors import ReproError
+from repro.harness.metrics import aggregate_throughput_mbps, completion_stats
+from repro.harness.workloads import Workload
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.graph import Topology
+from repro.topology.paths import PathOracle
+
+
+@dataclass
+class MeasurementPoint:
+    """Averaged result for one (algorithm, workload) cell."""
+
+    algorithm: str
+    #: Size-resolved description (e.g. ``mpich(mpich-ring)``).
+    variant: str
+    msize: int
+    mean_time: float
+    min_time: float
+    max_time: float
+    samples: List[float]
+    throughput_mbps: float
+    peak_concurrent_flows: int
+    max_edge_multiplexing: int
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment grid."""
+
+    name: str
+    topology: Topology
+    params: NetworkParams
+    points: List[MeasurementPoint] = field(default_factory=list)
+
+    def cell(self, algorithm: str, msize: int) -> MeasurementPoint:
+        for p in self.points:
+            if p.algorithm == algorithm and p.msize == msize:
+                return p
+        raise ReproError(f"no measurement for ({algorithm}, {msize})")
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.points:
+            if p.algorithm not in seen:
+                seen.append(p.algorithm)
+        return seen
+
+    def sizes(self) -> List[int]:
+        seen: List[int] = []
+        for p in self.points:
+            if p.msize not in seen:
+                seen.append(p.msize)
+        return seen
+
+    def series(self, algorithm: str) -> List[Tuple[int, float]]:
+        """(msize, mean completion time) pairs for one algorithm."""
+        return [
+            (p.msize, p.mean_time) for p in self.points if p.algorithm == algorithm
+        ]
+
+
+def run_experiment(
+    name: str,
+    topology: Topology,
+    algorithms: Sequence[AlltoallAlgorithm],
+    workloads: Sequence[Workload],
+    params: Optional[NetworkParams] = None,
+    *,
+    check_delivery: bool = True,
+) -> ExperimentResult:
+    """Simulate every (algorithm, workload) cell and average repetitions."""
+    if params is None:
+        params = NetworkParams()
+    oracle = PathOracle(topology)
+    result = ExperimentResult(name=name, topology=topology, params=params)
+    n = topology.num_machines
+    for workload in workloads:
+        for algorithm in algorithms:
+            programs = algorithm.build_programs(topology, workload.msize)
+            samples: List[float] = []
+            peak_flows = 0
+            max_mux = 0
+            for seed in workload.seeds():
+                run = run_programs(
+                    topology,
+                    programs,
+                    workload.msize,
+                    params.with_seed(seed),
+                    oracle=oracle,
+                    check_delivery=check_delivery,
+                )
+                samples.append(run.completion_time)
+                peak_flows = max(peak_flows, run.peak_concurrent_flows)
+                max_mux = max(max_mux, run.max_edge_multiplexing)
+            mean, lo, hi = completion_stats(samples)
+            result.points.append(
+                MeasurementPoint(
+                    algorithm=algorithm.name,
+                    variant=algorithm.describe(topology, workload.msize),
+                    msize=workload.msize,
+                    mean_time=mean,
+                    min_time=lo,
+                    max_time=hi,
+                    samples=samples,
+                    throughput_mbps=aggregate_throughput_mbps(
+                        n, workload.msize, mean
+                    ),
+                    peak_concurrent_flows=peak_flows,
+                    max_edge_multiplexing=max_mux,
+                )
+            )
+    return result

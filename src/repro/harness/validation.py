@@ -1,0 +1,118 @@
+"""Shape validation: does a simulated grid reproduce the paper's story?
+
+Absolute milliseconds cannot match across a hardware substitution, so
+reproduction is judged on *shape* (DESIGN.md §2): per cell, who wins;
+per size, the ordering of algorithms; across sizes, where crossovers
+fall.  :func:`compare_shapes` scores a measured grid against a
+reference table and reports the agreements and disagreements so
+EXPERIMENTS.md (and the regression tests) can quote a single number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.harness.runner import ExperimentResult
+from repro.units import format_size
+
+#: Reference format: {algorithm: {msize: milliseconds}}.
+ReferenceTable = Dict[str, Dict[int, float]]
+
+
+@dataclass
+class ShapeReport:
+    """Outcome of a measured-vs-reference shape comparison."""
+
+    #: Per-size: did the measured winner match the reference winner?
+    winner_agreement: Dict[int, bool] = field(default_factory=dict)
+    #: Per-size: measured and reference full orderings (fastest first).
+    orderings: Dict[int, Tuple[Tuple[str, ...], Tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+    #: Pairwise comparisons that agree / total comparisons.
+    pairwise_agreements: int = 0
+    pairwise_total: int = 0
+    #: Cells where measured/reference disagree on a pairwise order.
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def winner_rate(self) -> float:
+        if not self.winner_agreement:
+            return 0.0
+        return sum(self.winner_agreement.values()) / len(self.winner_agreement)
+
+    @property
+    def pairwise_rate(self) -> float:
+        if self.pairwise_total == 0:
+            return 0.0
+        return self.pairwise_agreements / self.pairwise_total
+
+    def summary(self) -> str:
+        lines = [
+            f"winner agreement: {100 * self.winner_rate:.0f}% "
+            f"({sum(self.winner_agreement.values())}/{len(self.winner_agreement)} sizes)",
+            f"pairwise-order agreement: {100 * self.pairwise_rate:.0f}% "
+            f"({self.pairwise_agreements}/{self.pairwise_total} comparisons)",
+        ]
+        if self.disagreements:
+            lines.append("disagreements:")
+            lines.extend(f"  {d}" for d in self.disagreements)
+        return "\n".join(lines)
+
+
+def compare_shapes(
+    result: ExperimentResult,
+    reference: ReferenceTable,
+    *,
+    tie_tolerance: float = 0.05,
+) -> ShapeReport:
+    """Score the measured grid's orderings against the reference table.
+
+    A pairwise comparison counts as agreeing when both grids order the
+    two algorithms the same way, or when either grid has them within
+    *tie_tolerance* (relative) — the paper itself calls ~5% gaps
+    "similar performance".
+    """
+    algorithms = [a for a in result.algorithms() if a in reference]
+    if len(algorithms) < 2:
+        raise ReproError(
+            "need at least two algorithms present in both grids"
+        )
+    report = ShapeReport()
+    for msize in result.sizes():
+        if any(msize not in reference[a] for a in algorithms):
+            continue
+        measured = {a: result.cell(a, msize).mean_time for a in algorithms}
+        expected = {a: reference[a][msize] for a in algorithms}
+        m_order = tuple(sorted(algorithms, key=measured.get))
+        e_order = tuple(sorted(algorithms, key=expected.get))
+        report.orderings[msize] = (m_order, e_order)
+        report.winner_agreement[msize] = m_order[0] == e_order[0] or _tied(
+            measured, m_order[0], e_order[0], tie_tolerance
+        ) or _tied(expected, m_order[0], e_order[0], tie_tolerance)
+        for i, a in enumerate(algorithms):
+            for b in algorithms[i + 1 :]:
+                report.pairwise_total += 1
+                m_sign = _sign(measured[a], measured[b], tie_tolerance)
+                e_sign = _sign(expected[a], expected[b], tie_tolerance)
+                if m_sign == e_sign or m_sign == 0 or e_sign == 0:
+                    report.pairwise_agreements += 1
+                else:
+                    report.disagreements.append(
+                        f"{format_size(msize)}: measured {a}"
+                        f"{'<' if m_sign < 0 else '>'}{b}, paper "
+                        f"{a}{'<' if e_sign < 0 else '>'}{b}"
+                    )
+    return report
+
+
+def _sign(a: float, b: float, tol: float) -> int:
+    if abs(a - b) <= tol * max(a, b):
+        return 0
+    return -1 if a < b else 1
+
+
+def _tied(table: Dict[str, float], a: str, b: str, tol: float) -> bool:
+    return _sign(table[a], table[b], tol) == 0

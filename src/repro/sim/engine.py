@@ -1,0 +1,145 @@
+"""Discrete-event engine with generator-coroutine processes.
+
+A minimal but complete DES kernel: a binary-heap event queue keyed by
+``(time, sequence)`` (the sequence number makes simultaneous events run
+in schedule order, so runs are fully deterministic), one-shot
+:class:`SimEvent` wait objects, and :meth:`Engine.spawn` which drives a
+generator coroutine that may yield
+
+* a ``float`` — sleep that many simulated seconds,
+* a :class:`SimEvent` — park until the event triggers.
+
+This is the substrate under :mod:`repro.sim.mpi`; it knows nothing
+about networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    Triggering wakes every waiter (in wait order) with an optional
+    value.  Waiting on an already-triggered event resumes immediately.
+    """
+
+    __slots__ = ("engine", "_triggered", "_value", "_callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        """Run *callback(value)* when triggered (immediately if already)."""
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Engine:
+    """The event loop: a heap of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def event(self) -> SimEvent:
+        """Create a fresh one-shot event bound to this engine."""
+        return SimEvent(self)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* after *delay* simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+
+    def spawn(self, generator: Generator) -> SimEvent:
+        """Drive a coroutine; returns an event triggered when it finishes.
+
+        The coroutine may yield a float (sleep) or a :class:`SimEvent`
+        (wait).  The completion event's value is the coroutine's
+        ``StopIteration`` value.
+        """
+        done = self.event()
+
+        def step(_sent: Any = None) -> None:
+            try:
+                yielded = generator.send(_sent)
+            except StopIteration as stop:
+                done.trigger(stop.value)
+                return
+            if isinstance(yielded, SimEvent):
+                yielded.on_trigger(step)
+            elif isinstance(yielded, (int, float)):
+                self.schedule(float(yielded), lambda: step(None))
+            else:
+                raise SimulationError(
+                    f"process yielded {yielded!r}; expected SimEvent or delay"
+                )
+
+        # Start on the next event-loop turn so spawn order is preserved
+        # but the caller finishes first.
+        self.schedule(0.0, lambda: step(None))
+        return done
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Process events until the heap drains (or *until*/eventcount hit).
+
+        Raises :class:`SimulationError` when *max_events* fire — the
+        deadlock/livelock backstop for buggy programs.
+        """
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            if time < self._now - 1e-12:
+                raise SimulationError(
+                    f"time went backwards: {time} < {self._now}"
+                )
+            self._now = max(self._now, time)
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; simulation is likely "
+                    "stuck in a livelock"
+                )
+            callback()

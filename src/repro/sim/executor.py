@@ -1,0 +1,256 @@
+"""Execute per-rank op programs on the simulated cluster.
+
+:func:`run_programs` is the bridge between the scheduling world
+(:mod:`repro.core.program`) and the simulator: it spawns one coroutine
+per rank that interprets the rank's operation sequence against
+:class:`~repro.sim.mpi.SimMPI`, charges jittered software overheads for
+each posted operation, and reports completion times plus
+data-correctness results.
+
+Data correctness: every data receive records the logical AAPC blocks it
+carried; at the end each rank must have received every block addressed
+to it exactly once (forwarding algorithms like Bruck may also carry
+blocks in transit — those are ignored by the check).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProgramError, SimulationError
+from repro.core.program import Block, Op, OpKind, Program
+from repro.sim.engine import Engine, SimEvent
+from repro.sim.mpi import Request, SimMPI
+from repro.sim.network import FlowNetwork
+from repro.sim.params import NetworkParams
+from repro.sim.trace import Trace
+from repro.topology.graph import Topology
+from repro.topology.paths import PathOracle
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated collective."""
+
+    #: Wall-clock (simulated) completion time: last rank finish time.
+    completion_time: float
+    #: Per-rank finish times.
+    rank_finish: Dict[str, float]
+    #: Blocks received per rank (destination-addressed only).
+    received_blocks: Dict[str, Set[Block]]
+    #: Network statistics.
+    peak_concurrent_flows: int
+    max_edge_multiplexing: int
+    bytes_delivered: float
+    events_processed: int
+    #: Bytes transported per directed edge over the whole run.
+    edge_bytes: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    trace: Optional[Trace] = None
+
+    def aggregate_throughput(self, num_machines: int, msize: int) -> float:
+        """Realised aggregate throughput in bytes/second (paper metric)."""
+        if self.completion_time <= 0:
+            raise SimulationError("zero completion time")
+        total = num_machines * (num_machines - 1) * msize
+        return total / self.completion_time
+
+    def link_utilization(self, bandwidth: float) -> Dict[Tuple[str, str], float]:
+        """Per directed edge: mean utilization of the raw link bandwidth.
+
+        The bottleneck link of a well-scheduled AAPC should sit near the
+        achievable goodput fraction (``base_efficiency``); big gaps mean
+        the algorithm leaves the bottleneck idle.
+        """
+        if self.completion_time <= 0:
+            raise SimulationError("zero completion time")
+        return {
+            edge: nbytes / (bandwidth * self.completion_time)
+            for edge, nbytes in self.edge_bytes.items()
+        }
+
+
+def run_programs(
+    topology: Topology,
+    programs: Dict[str, Program],
+    msize: int,
+    params: NetworkParams,
+    *,
+    oracle: Optional[PathOracle] = None,
+    trace: bool = False,
+    check_delivery: bool = True,
+    expected_blocks: Optional[Dict[str, Set[Block]]] = None,
+    link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
+) -> RunResult:
+    """Simulate the programs and return timing plus correctness results.
+
+    Parameters
+    ----------
+    msize:
+        Per-block message size in bytes; an operation carrying ``k``
+        blocks moves ``k * msize`` bytes unless it sets an explicit
+        ``nbytes``.
+    check_delivery:
+        Verify every rank received every block addressed to it.
+    expected_blocks:
+        Per-rank expected block sets for the delivery check.  Defaults
+        to the AAPC pattern (every rank gets one block from every other
+        rank); collectives with different semantics (broadcast,
+        allgather, irregular patterns) pass their own expectation.
+    link_bandwidths:
+        Optional per-physical-link bandwidth overrides (bytes/second)
+        for heterogeneous clusters; see :class:`FlowNetwork`.
+    """
+    machines = list(topology.machines)
+    missing = [m for m in machines if m not in programs]
+    if missing:
+        raise ProgramError(f"no program for machines {missing}")
+
+    engine = Engine()
+    network = FlowNetwork(engine, topology, params, oracle, link_bandwidths)
+    mpi = SimMPI(engine, network, params)
+    rng = random.Random(params.seed)
+    run_trace = Trace(enabled=trace)
+
+    rank_finish: Dict[str, float] = {}
+    received: Dict[str, Set[Block]] = {m: set() for m in machines}
+    received_lists: Dict[str, List[Block]] = {m: [] for m in machines}
+
+    # Pre-draw each rank's noise stream and persistent speed factor so
+    # spawn order cannot change the random sequence a rank observes
+    # (determinism per seed).
+    rank_rngs = {m: random.Random(rng.getrandbits(64)) for m in machines}
+    speed_factor = {
+        m: (1.0 + params.rank_speed_spread * rank_rngs[m].random())
+        * params.speed_override(m)
+        for m in machines
+    }
+
+    def overhead(rank: str) -> float:
+        r = rank_rngs[rank]
+        base = params.post_overhead * speed_factor[rank]
+        if params.jitter > 0:
+            base *= 1.0 + params.jitter * r.random()
+        if params.stall_prob > 0 and r.random() < params.stall_prob:
+            base += r.expovariate(1.0 / params.stall_mean)
+        return base
+
+    def rank_process(rank: str, program: Program):
+        pending: List[Request] = []
+        for op in program.ops:
+            if op.kind in (OpKind.ISEND, OpKind.SEND):
+                yield overhead(rank)
+                run_trace.add(engine.now, rank, "post_send", op.peer, op.tag, op.phase)
+                req = mpi.isend(
+                    rank, op.peer, op.tag, op.wire_size(msize), op.blocks
+                )
+                if op.kind == OpKind.SEND:
+                    if not req.done:
+                        yield req.event
+                    run_trace.add(engine.now, rank, "complete_send", op.peer, op.tag, op.phase)
+                else:
+                    pending.append(req)
+            elif op.kind in (OpKind.IRECV, OpKind.RECV):
+                yield overhead(rank)
+                run_trace.add(engine.now, rank, "post_recv", op.peer, op.tag, op.phase)
+                req = mpi.irecv(rank, op.peer, op.tag)
+                if op.kind == OpKind.RECV:
+                    if not req.done:
+                        yield req.event
+                    _record_blocks(rank, req)
+                    run_trace.add(engine.now, rank, "complete_recv", op.peer, op.tag, op.phase)
+                else:
+                    pending.append(req)
+            elif op.kind == OpKind.WAITALL:
+                for req in pending:
+                    if not req.done:
+                        yield req.event
+                    if req.kind == "recv":
+                        _record_blocks(rank, req)
+                run_trace.add(engine.now, rank, "waitall_done", "", 0, op.phase)
+                pending = []
+            elif op.kind == OpKind.SYNC_SEND:
+                yield overhead(rank)
+                run_trace.add(engine.now, rank, "sync_send", op.peer, op.tag, op.phase)
+                req = mpi.isend(rank, op.peer, op.tag, 0, (), sync=True)
+                if not req.done:
+                    yield req.event
+            elif op.kind == OpKind.SYNC_RECV:
+                run_trace.add(engine.now, rank, "sync_wait", op.peer, op.tag, op.phase)
+                req = mpi.irecv(rank, op.peer, op.tag, sync=True)
+                if not req.done:
+                    yield req.event
+                run_trace.add(engine.now, rank, "sync_recv", op.peer, op.tag, op.phase)
+            elif op.kind == OpKind.BARRIER:
+                event = mpi.barrier(len(machines))
+                yield event
+                run_trace.add(engine.now, rank, "barrier", "", 0, op.phase)
+            else:  # pragma: no cover - exhaustive over OpKind
+                raise ProgramError(f"unknown op kind {op.kind!r}")
+        if pending:
+            raise ProgramError(
+                f"rank {rank} ended with {len(pending)} unwaited requests"
+            )
+        rank_finish[rank] = engine.now
+
+    def _record_blocks(rank: str, req: Request) -> None:
+        for block in req.blocks:
+            received_lists[rank].append(block)
+            if block[1] == rank:
+                received[rank].add(block)
+
+    for m in machines:
+        engine.spawn(rank_process(m, programs[m]))
+    engine.run()
+
+    unfinished = [m for m in machines if m not in rank_finish]
+    if unfinished:
+        raise SimulationError(
+            f"deadlock: ranks {unfinished[:5]} never finished "
+            f"({len(unfinished)} total)"
+        )
+    mpi.assert_drained()
+
+    if check_delivery:
+        _check_delivery(machines, received, received_lists, expected_blocks)
+
+    completion = max(rank_finish.values()) if rank_finish else 0.0
+    return RunResult(
+        completion_time=completion,
+        rank_finish=rank_finish,
+        received_blocks=received,
+        peak_concurrent_flows=network.peak_concurrent_flows,
+        max_edge_multiplexing=network.max_edge_multiplexing,
+        bytes_delivered=network.bytes_delivered,
+        events_processed=engine.events_processed,
+        edge_bytes=dict(network.edge_bytes),
+        trace=run_trace if trace else None,
+    )
+
+
+def _check_delivery(
+    machines: Sequence[str],
+    received: Dict[str, Set[Block]],
+    received_lists: Dict[str, List[Block]],
+    expected_blocks: Optional[Dict[str, Set[Block]]] = None,
+) -> None:
+    for rank in machines:
+        if expected_blocks is not None:
+            expected = expected_blocks.get(rank, set())
+        else:
+            expected = {(src, rank) for src in machines if src != rank}
+        got = received[rank]
+        if got != expected:
+            missing = sorted(expected - got)[:5]
+            extra = sorted(got - expected)[:5]
+            raise SimulationError(
+                f"rank {rank} delivery mismatch: missing {missing}, "
+                f"unexpected {extra}"
+            )
+        addressed = [b for b in received_lists[rank] if b[1] == rank]
+        if len(addressed) != len(expected):
+            raise SimulationError(
+                f"rank {rank} received {len(addressed)} addressed blocks, "
+                f"expected {len(expected)} (duplicate delivery)"
+            )

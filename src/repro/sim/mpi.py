@@ -1,0 +1,235 @@
+"""Simulated MPI point-to-point layer.
+
+Models the transport behaviour that the paper's algorithms exercise:
+
+* **Rendezvous** for messages above the eager threshold: the transfer
+  (a network flow) starts only once *both* sides have posted, after a
+  handshake latency; both requests complete when the last byte lands.
+  This matches large-message TCP behaviour once socket buffers are
+  exhausted and is the regime AAPC scheduling targets.
+* **Eager** for small messages (and the zero-byte pair-wise syncs): the
+  sender's request completes right after posting; the receiver's
+  completes at ``max(send_post + eager_latency, recv_post)``.  Eager
+  messages do not consume modelled bandwidth.
+* **Matching** by ``(source, tag, sync-ness)`` with FIFO order within a
+  key, like MPI's per-communicator matching.
+* **Barrier** as a dissemination-style delay after the last arrival.
+
+Per-operation software overheads (with seeded jitter) are charged by the
+executor, not here; this layer only handles matching and transfer
+timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.core.program import Block
+from repro.sim.engine import Engine, SimEvent
+from repro.sim.network import Flow, FlowNetwork
+from repro.sim.params import NetworkParams
+
+
+class Request:
+    """Handle for a pending send or receive."""
+
+    __slots__ = ("event", "kind", "rank", "peer", "tag", "nbytes", "blocks", "post_time", "arrival_event")
+
+    def __init__(
+        self,
+        event: SimEvent,
+        kind: str,
+        rank: str,
+        peer: str,
+        tag: int,
+        nbytes: int,
+        blocks: Tuple[Block, ...],
+    ) -> None:
+        self.event = event
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.blocks = blocks
+        self.post_time = event.engine.now
+        #: For buffered sends: triggered when the last byte reaches the
+        #: receiving host (independent of a posted receive).
+        self.arrival_event: "SimEvent | None" = None
+
+    @property
+    def done(self) -> bool:
+        return self.event.triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request({self.kind} {self.rank}<->{self.peer} tag={self.tag} "
+            f"bytes={self.nbytes} done={self.done})"
+        )
+
+
+#: Matching key: (sender, receiver, tag, is_sync).
+_MatchKey = Tuple[str, str, int, bool]
+
+
+class SimMPI:
+    """Message matching and transfer timing over a :class:`FlowNetwork`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: FlowNetwork,
+        params: NetworkParams,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.params = params
+        self._unmatched_sends: Dict[_MatchKey, Deque[Request]] = {}
+        self._unmatched_recvs: Dict[_MatchKey, Deque[Request]] = {}
+        # Barrier state: name -> (arrived events, release event)
+        self._barrier_waiting: List[SimEvent] = []
+        self._barrier_expected = 0
+        self.messages_matched = 0
+        self.flows_started = 0
+
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        rank: str,
+        peer: str,
+        tag: int,
+        nbytes: int,
+        blocks: Tuple[Block, ...] = (),
+        *,
+        sync: bool = False,
+    ) -> Request:
+        """Post a non-blocking send from *rank* to *peer*."""
+        req = Request(self.engine.event(), "send", rank, peer, tag, nbytes, blocks)
+        mode = "eager" if sync else self.params.transfer_mode(nbytes)
+        if mode in ("eager", "buffered"):
+            # The transport buffers the whole message: the sender's
+            # request completes at post time, independent of matching.
+            req.event.trigger(req)
+        if mode == "buffered":
+            # The flow drains toward the receiver immediately (TCP
+            # pushes without waiting for a posted receive); arrival is
+            # recorded so a late-posted receive completes instantly.
+            self._launch_buffered(req)
+        key: _MatchKey = (rank, peer, tag, sync)
+        recvs = self._unmatched_recvs.get(key)
+        if recvs:
+            self._matched(req, recvs.popleft(), sync)
+        else:
+            self._unmatched_sends.setdefault(key, deque()).append(req)
+        return req
+
+    def irecv(
+        self,
+        rank: str,
+        peer: str,
+        tag: int,
+        *,
+        sync: bool = False,
+    ) -> Request:
+        """Post a non-blocking receive at *rank* from *peer*."""
+        req = Request(self.engine.event(), "recv", rank, peer, tag, 0, ())
+        key: _MatchKey = (peer, rank, tag, sync)
+        sends = self._unmatched_sends.get(key)
+        if sends:
+            self._matched(sends.popleft(), req, sync)
+        else:
+            self._unmatched_recvs.setdefault(key, deque()).append(req)
+        return req
+
+    def _matched(self, send: Request, recv: Request, sync: bool) -> None:
+        self.messages_matched += 1
+        recv.nbytes = send.nbytes
+        recv.blocks = send.blocks
+        mode = "eager" if sync else self.params.transfer_mode(send.nbytes)
+        if mode == "eager":
+            self._eager_transfer(send, recv, sync)
+        elif mode == "buffered":
+            assert send.arrival_event is not None
+            send.arrival_event.on_trigger(lambda _v: recv.event.trigger(recv))
+        else:
+            self._rendezvous_transfer(send, recv)
+
+    def _eager_transfer(self, send: Request, recv: Request, sync: bool) -> None:
+        """Small message: sender completed at post, receiver after latency."""
+        latency = self.params.sync_latency if sync else self.params.eager_latency
+        arrival = send.post_time + latency
+        delay = max(0.0, arrival - self.engine.now)
+        self.engine.schedule(delay, lambda: recv.event.trigger(recv))
+
+    def _launch_buffered(self, send: Request) -> None:
+        """Start a buffered send's flow right away (TCP-push behaviour)."""
+        self.flows_started += 1
+        send.arrival_event = self.engine.event()
+
+        def on_flow_done(_flow: Flow) -> None:
+            send.arrival_event.trigger(send)
+
+        def launch() -> None:
+            self.network.start_flow(
+                send.rank, send.peer, float(send.nbytes), on_flow_done
+            )
+
+        self.engine.schedule(self.params.eager_latency, launch)
+
+    def _rendezvous_transfer(self, send: Request, recv: Request) -> None:
+        """Large message: handshake, then a bandwidth-consuming flow."""
+        self.flows_started += 1
+
+        def on_flow_done(_flow: Flow) -> None:
+            send.event.trigger(send)
+            recv.event.trigger(recv)
+
+        def launch() -> None:
+            self.network.start_flow(
+                send.rank, send.peer, float(send.nbytes), on_flow_done
+            )
+
+        self.engine.schedule(self.params.rendezvous_latency, launch)
+
+    # ------------------------------------------------------------------
+    def barrier(self, num_ranks: int) -> SimEvent:
+        """Join a barrier over *num_ranks* ranks; returns the release event.
+
+        All participating ranks must call with the same *num_ranks*.
+        Released ``barrier_latency`` after the last arrival.
+        """
+        if self._barrier_expected == 0:
+            self._barrier_expected = num_ranks
+        elif self._barrier_expected != num_ranks:
+            raise SimulationError(
+                f"barrier size mismatch: {self._barrier_expected} vs {num_ranks}"
+            )
+        event = self.engine.event()
+        self._barrier_waiting.append(event)
+        if len(self._barrier_waiting) == self._barrier_expected:
+            waiting, self._barrier_waiting = self._barrier_waiting, []
+            self._barrier_expected = 0
+            delay = self.params.barrier_latency
+
+            def release() -> None:
+                for ev in waiting:
+                    ev.trigger(None)
+
+            self.engine.schedule(delay, release)
+        return event
+
+    # ------------------------------------------------------------------
+    def assert_drained(self) -> None:
+        """Raise if unmatched operations remain (deadlock diagnosis)."""
+        leftovers = [
+            (key, len(reqs))
+            for table in (self._unmatched_sends, self._unmatched_recvs)
+            for key, reqs in table.items()
+            if reqs
+        ]
+        if leftovers:
+            raise SimulationError(
+                f"unmatched operations at end of run: {leftovers[:10]}"
+            )

@@ -1,0 +1,266 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Every in-flight (rendezvous) message is a :class:`Flow` over the unique
+directed tree path between its endpoints.  Whenever the flow set
+changes, rates are recomputed by **progressive filling**: repeatedly
+find the directed edge with the smallest fair share
+``available_capacity / unfrozen_flows`` and freeze its flows at that
+share — the classic max-min allocation.  Edge capacity shrinks under
+multiplexing via :meth:`NetworkParams.effective_capacity`, modelling
+TCP/Ethernet goodput collapse (see :mod:`repro.sim.params`).
+
+Rate changes are *batched*: adds/removes at the same instant trigger a
+single settle, which keeps event counts manageable when e.g. the LAM
+algorithm launches ~1000 flows at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.params import NetworkParams
+from repro.topology.graph import Edge, Topology
+from repro.topology.paths import PathOracle
+
+#: Residual bytes below which a flow counts as finished (float safety).
+_EPSILON_BYTES = 1e-6
+
+
+class Flow:
+    """One fluid transfer over a fixed directed path."""
+
+    __slots__ = ("fid", "src", "dst", "edges", "size", "remaining", "rate", "on_complete", "start_time", "end_time")
+
+    def __init__(
+        self,
+        fid: int,
+        src: str,
+        dst: str,
+        edges: Tuple[Edge, ...],
+        nbytes: float,
+        on_complete: Callable[["Flow"], None],
+        start_time: float,
+    ) -> None:
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.edges = edges
+        self.size = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+
+
+class FlowNetwork:
+    """The cluster's links plus the active flow set and rate solver."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        params: NetworkParams,
+        oracle: Optional[PathOracle] = None,
+        link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> None:
+        """*link_bandwidths* optionally overrides the uniform link speed
+        per physical link; keys may name either orientation and apply to
+        both directed edges (full-duplex links)."""
+        self.engine = engine
+        self.topology = topology
+        self.params = params
+        self.oracle = oracle if oracle is not None else PathOracle(topology)
+        self._edge_bandwidth: Dict[Edge, float] = {}
+        if link_bandwidths:
+            for (u, v), bw in link_bandwidths.items():
+                if bw <= 0:
+                    raise SimulationError(
+                        f"bandwidth for link ({u!r}, {v!r}) must be positive"
+                    )
+                if v not in topology.neighbors(u):
+                    raise SimulationError(
+                        f"no physical link between {u!r} and {v!r}"
+                    )
+                self._edge_bandwidth[(u, v)] = bw
+                self._edge_bandwidth[(v, u)] = bw
+        self._flows: Dict[int, Flow] = {}
+        self._edge_flows: Dict[Edge, Set[int]] = {}
+        # Endpoint edges (machine uplinks/downlinks) suffer the incast
+        # collapse; switch-to-switch trunks share fluidly.
+        self._endpoint_edge: Dict[Edge, bool] = {
+            (u, v): topology.is_machine(u) or topology.is_machine(v)
+            for u, v in topology.directed_edges()
+        }
+        self._next_fid = 0
+        self._last_update = 0.0
+        self._dirty = False
+        self._completion_generation = 0
+        # Statistics for the invariant tests and reports.
+        self.bytes_injected = 0.0
+        self.bytes_delivered = 0.0
+        self.peak_concurrent_flows = 0
+        self.max_edge_multiplexing = 0
+        #: Bytes actually transported per directed edge.
+        self.edge_bytes: Dict[Edge, float] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def start_flow(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        on_complete: Callable[[Flow], None],
+    ) -> Flow:
+        """Inject a transfer of *nbytes* from *src* to *dst*.
+
+        *on_complete* fires (via the engine) when the last byte arrives.
+        """
+        if nbytes <= 0:
+            raise SimulationError(f"flow size must be positive, got {nbytes}")
+        self._advance_progress()
+        edges = self.oracle.path_edges(src, dst)
+        if not edges:
+            raise SimulationError(f"no path from {src!r} to {dst!r}")
+        flow = Flow(
+            self._next_fid, src, dst, edges, nbytes, on_complete, self.engine.now
+        )
+        self._next_fid += 1
+        self._flows[flow.fid] = flow
+        for e in edges:
+            self._edge_flows.setdefault(e, set()).add(flow.fid)
+        self.bytes_injected += nbytes
+        self.peak_concurrent_flows = max(
+            self.peak_concurrent_flows, len(self._flows)
+        )
+        self._mark_dirty()
+        return flow
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def flow_rate(self, flow: Flow) -> float:
+        return flow.rate
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _mark_dirty(self) -> None:
+        if not self._dirty:
+            self._dirty = True
+            self.engine.schedule(0.0, self._settle)
+
+    def _advance_progress(self) -> None:
+        """Account bytes moved since the last rate change."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._flows.values():
+                if flow.rate > 0:
+                    before = flow.remaining
+                    flow.remaining = max(0.0, before - flow.rate * dt)
+                    moved = before - flow.remaining
+                    self.bytes_delivered += moved
+                    for e in flow.edges:
+                        self.edge_bytes[e] = self.edge_bytes.get(e, 0.0) + moved
+        self._last_update = now
+
+    def _settle(self) -> None:
+        """Recompute rates and schedule the next completion sweep."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        self._advance_progress()
+        self._complete_finished()
+        if not self._flows:
+            return
+        self._allocate_max_min()
+        next_completion = min(
+            flow.remaining / flow.rate
+            for flow in self._flows.values()
+            if flow.rate > 0
+        )
+        self._completion_generation += 1
+        generation = self._completion_generation
+        self.engine.schedule(
+            max(0.0, next_completion), lambda: self._on_completion_timer(generation)
+        )
+
+    def _on_completion_timer(self, generation: int) -> None:
+        if generation != self._completion_generation:
+            return  # superseded by a later settle
+        self._advance_progress()
+        self._complete_finished()
+        self._dirty = True
+        self._settle()
+
+    def _complete_finished(self) -> None:
+        done = [
+            flow
+            for flow in self._flows.values()
+            if flow.remaining <= _EPSILON_BYTES
+        ]
+        for flow in done:
+            del self._flows[flow.fid]
+            for e in flow.edges:
+                self._edge_flows[e].discard(flow.fid)
+            flow.remaining = 0.0
+            flow.rate = 0.0
+            flow.end_time = self.engine.now
+            flow.on_complete(flow)
+
+    def _allocate_max_min(self) -> None:
+        """Progressive filling over the directed edges."""
+        params = self.params
+        # Per-edge state: unfrozen flow count and available capacity.
+        unfrozen_count: Dict[Edge, int] = {}
+        available: Dict[Edge, float] = {}
+        for e, fids in self._edge_flows.items():
+            n = len(fids)
+            if n == 0:
+                continue
+            largest = max(self._flows[fid].size for fid in fids)
+            unfrozen_count[e] = n
+            available[e] = params.effective_capacity(
+                n,
+                largest,
+                self._endpoint_edge[e],
+                line_bandwidth=self._edge_bandwidth.get(e),
+            )
+            self.max_edge_multiplexing = max(self.max_edge_multiplexing, n)
+        frozen: Set[int] = set()
+        for flow in self._flows.values():
+            flow.rate = 0.0
+        remaining_flows = len(self._flows)
+        while remaining_flows > 0:
+            # Find the tightest edge.
+            best_edge: Optional[Edge] = None
+            best_share = float("inf")
+            for e, count in unfrozen_count.items():
+                if count <= 0:
+                    continue
+                share = available[e] / count
+                if share < best_share - 1e-15:
+                    best_share = share
+                    best_edge = e
+            if best_edge is None:
+                raise SimulationError(
+                    "max-min allocation stalled with flows unassigned"
+                )
+            # Freeze every unfrozen flow crossing the tightest edge.
+            for fid in list(self._edge_flows[best_edge]):
+                if fid in frozen:
+                    continue
+                flow = self._flows[fid]
+                flow.rate = best_share
+                frozen.add(fid)
+                remaining_flows -= 1
+                for e in flow.edges:
+                    unfrozen_count[e] -= 1
+                    available[e] -= best_share
+            unfrozen_count[best_edge] = 0

@@ -1,0 +1,72 @@
+"""Execution tracing for simulator runs.
+
+A :class:`Trace` collects timestamped records — operation begin/end per
+rank, flow lifetimes — so tests can assert on ordering (e.g. "the sync
+message really delayed the conflicting send") and the examples can
+print per-phase timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    rank: str
+    what: str  # e.g. "post_isend", "complete_recv", "barrier"
+    peer: str = ""
+    tag: int = 0
+    phase: int = -1
+
+
+@dataclass
+class Trace:
+    """An append-only record list with simple queries."""
+
+    enabled: bool = True
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        time: float,
+        rank: str,
+        what: str,
+        peer: str = "",
+        tag: int = 0,
+        phase: int = -1,
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, rank, what, peer, tag, phase))
+
+    def of_rank(self, rank: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.rank == rank]
+
+    def of_kind(self, what: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.what == what]
+
+    def first(self, rank: str, what: str, tag: Optional[int] = None) -> Optional[TraceRecord]:
+        for r in self.records:
+            if r.rank == rank and r.what == what and (tag is None or r.tag == tag):
+                return r
+        return None
+
+    def phase_spans(self) -> Dict[int, Tuple[float, float]]:
+        """Per schedule phase: (first record time, last record time)."""
+        spans: Dict[int, Tuple[float, float]] = {}
+        for r in self.records:
+            if r.phase < 0:
+                continue
+            if r.phase not in spans:
+                spans[r.phase] = (r.time, r.time)
+            else:
+                lo, hi = spans[r.phase]
+                spans[r.phase] = (min(lo, r.time), max(hi, r.time))
+        return spans
+
+    def __len__(self) -> int:
+        return len(self.records)

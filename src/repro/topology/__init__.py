@@ -1,0 +1,69 @@
+"""Tree-topology substrate for Ethernet switched clusters.
+
+Ethernet switches run a spanning-tree protocol, so the forwarding
+topology of any switched cluster is a tree (paper, Section 3).  This
+package models that tree, builds the standard cluster shapes used in the
+paper's experiments, computes unique forwarding paths, and analyses
+per-link loads / bottlenecks / the peak aggregate AAPC throughput.
+"""
+
+from repro.topology.graph import Node, NodeKind, Topology
+from repro.topology.builder import (
+    chain_of_switches,
+    paper_example_cluster,
+    random_tree,
+    single_switch,
+    star_of_switches,
+    topology_a,
+    topology_b,
+    topology_c,
+    tree_from_spec,
+    tree_of_switches,
+)
+from repro.topology.paths import PathOracle
+from repro.topology.analysis import (
+    aapc_edge_loads,
+    aapc_load,
+    best_case_completion_time,
+    bottleneck_edges,
+    pattern_edge_loads,
+    peak_aggregate_throughput,
+)
+from repro.topology.serialization import (
+    dump_topology,
+    dumps_topology,
+    load_topology,
+    loads_topology,
+)
+from repro.topology.spanning_tree import (
+    PhysicalNetwork,
+    SpanningTreeResult,
+    compute_spanning_tree,
+)
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Topology",
+    "PathOracle",
+    "single_switch",
+    "star_of_switches",
+    "chain_of_switches",
+    "paper_example_cluster",
+    "random_tree",
+    "tree_from_spec",
+    "tree_of_switches",
+    "topology_a",
+    "topology_b",
+    "topology_c",
+    "aapc_edge_loads",
+    "pattern_edge_loads",
+    "aapc_load",
+    "bottleneck_edges",
+    "peak_aggregate_throughput",
+    "best_case_completion_time",
+    "load_topology",
+    "loads_topology",
+    "dump_topology",
+    "dumps_topology",
+]

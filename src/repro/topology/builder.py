@@ -1,0 +1,259 @@
+"""Builders for the cluster shapes used in the paper and in tests.
+
+The three experiment topologies from Figure 5:
+
+* :func:`topology_a` — 24 machines on a single switch,
+* :func:`topology_b` — 32 machines, star of four switches (8 each),
+* :func:`topology_c` — 32 machines, chain of four switches (8 each),
+
+plus the Figure 1 example cluster, generic parametric builders, a nested
+spec mini-language for tests, and seeded random trees for property-based
+testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+#: Nested spec node: either a machine name (str) or (switch_name, children).
+Spec = Union[str, Tuple[str, Sequence["Spec"]]]
+
+
+def single_switch(num_machines: int, *, switch: str = "s0", prefix: str = "n") -> Topology:
+    """A cluster of *num_machines* machines on one switch.
+
+    This is the shape of the paper's topology (a) and the setting of the
+    single-switch schedulers the paper cites ([15], [18]).
+    """
+    if num_machines < 1:
+        raise TopologyError("need at least one machine")
+    topo = Topology()
+    topo.add_switch(switch)
+    for i in range(num_machines):
+        name = f"{prefix}{i}"
+        topo.add_machine(name)
+        topo.add_link(switch, name)
+    topo.validate()
+    return topo
+
+
+def star_of_switches(
+    machines_per_switch: Sequence[int],
+    *,
+    prefix: str = "n",
+) -> Topology:
+    """A hub switch ``s0`` with leaf switches ``s1..`` hanging off it.
+
+    ``machines_per_switch[i]`` machines attach to switch ``s<i>``; switch
+    ``s0`` is the hub and may also host machines
+    (``machines_per_switch[0]``).  Machine names are assigned breadth-wise
+    in switch order so ranks group by switch, matching Figure 5.
+    """
+    if not machines_per_switch:
+        raise TopologyError("need at least one switch")
+    topo = Topology()
+    for i in range(len(machines_per_switch)):
+        topo.add_switch(f"s{i}")
+    for i in range(1, len(machines_per_switch)):
+        topo.add_link("s0", f"s{i}")
+    _attach_machines(topo, machines_per_switch, prefix)
+    topo.validate()
+    return topo
+
+
+def chain_of_switches(
+    machines_per_switch: Sequence[int],
+    *,
+    prefix: str = "n",
+) -> Topology:
+    """Switches ``s0 - s1 - ... - sk`` in a line, with machines per switch."""
+    if not machines_per_switch:
+        raise TopologyError("need at least one switch")
+    topo = Topology()
+    for i in range(len(machines_per_switch)):
+        topo.add_switch(f"s{i}")
+    for i in range(len(machines_per_switch) - 1):
+        topo.add_link(f"s{i}", f"s{i + 1}")
+    _attach_machines(topo, machines_per_switch, prefix)
+    topo.validate()
+    return topo
+
+
+def _attach_machines(topo: Topology, counts: Sequence[int], prefix: str) -> None:
+    rank = 0
+    for i, count in enumerate(counts):
+        if count < 0:
+            raise TopologyError("machine counts must be non-negative")
+        for _ in range(count):
+            name = f"{prefix}{rank}"
+            topo.add_machine(name)
+            topo.add_link(f"s{i}", name)
+            rank += 1
+
+
+def paper_example_cluster() -> Topology:
+    """The Figure 1 example cluster.
+
+    Six machines, four switches.  ``s1`` is the scheduling root; its
+    subtrees are ``t0 = t_s0 = {n0, n1, n2}`` (with ``n1``/``n2`` one
+    level deeper behind ``s2``), ``t1 = t_s3 = {n3, n4}`` and
+    ``t2 = t_n5 = {n5}``, reproducing ``path(n0, n3) = {(n0,s0), (s0,s1),
+    (s1,s3), (s3,n3)}`` from Section 3.
+    """
+    topo = Topology()
+    for s in ("s0", "s1", "s2", "s3"):
+        topo.add_switch(s)
+    for n in ("n0", "n1", "n2", "n3", "n4", "n5"):
+        topo.add_machine(n)
+    topo.add_link("s0", "n0")
+    topo.add_link("s0", "s2")
+    topo.add_link("s2", "n1")
+    topo.add_link("s2", "n2")
+    topo.add_link("s1", "s0")
+    topo.add_link("s1", "s3")
+    topo.add_link("s3", "n3")
+    topo.add_link("s3", "n4")
+    topo.add_link("s1", "n5")
+    topo.validate()
+    return topo
+
+
+def topology_a() -> Topology:
+    """Figure 5(a): 24 machines connected by a single switch."""
+    return single_switch(24)
+
+
+def topology_b() -> Topology:
+    """Figure 5(b): 32 machines, 8 per switch, star of four switches.
+
+    The hub/leaf arrangement is pinned down by the "Peak" line of the
+    paper's Figure 7(b): each inter-switch link carries ``8 * 24 = 192``
+    messages, giving peak aggregate throughput ``32*31*100/192 = 516.7``
+    Mbps, which matches the plotted peak.
+    """
+    return star_of_switches([8, 8, 8, 8])
+
+
+def topology_c() -> Topology:
+    """Figure 5(c): 32 machines, 8 per switch, chain of four switches.
+
+    The middle link carries ``16 * 16 = 256`` messages, giving peak
+    aggregate throughput ``32*31*100/256 = 387.5`` Mbps — the "Peak" line
+    of the paper's Figure 8(b).
+    """
+    return chain_of_switches([8, 8, 8, 8])
+
+
+def tree_from_spec(spec: Spec) -> Topology:
+    """Build a topology from a nested spec.
+
+    A spec is a machine name or a ``(switch_name, [children...])`` pair::
+
+        tree_from_spec(("s0", ["n0", ("s1", ["n1", "n2"])]))
+
+    The root of the spec must be a switch (machines are leaves).
+    """
+    topo = Topology()
+    if isinstance(spec, str):
+        raise TopologyError("the spec root must be a switch, not a machine")
+    _build_spec(topo, spec, parent=None)
+    topo.validate()
+    return topo
+
+
+def _build_spec(topo: Topology, spec: Spec, parent: Optional[str]) -> None:
+    if isinstance(spec, str):
+        topo.add_machine(spec)
+        if parent is not None:
+            topo.add_link(parent, spec)
+        return
+    if not (isinstance(spec, tuple) and len(spec) == 2):
+        raise TopologyError(f"bad spec node: {spec!r}")
+    name, children = spec
+    topo.add_switch(name)
+    if parent is not None:
+        topo.add_link(parent, name)
+    for child in children:
+        _build_spec(topo, child, name)
+
+
+def tree_of_switches(
+    branching: int,
+    depth: int,
+    machines_per_leaf: int,
+    *,
+    prefix: str = "n",
+) -> Topology:
+    """A balanced switch hierarchy: the deep-tree stress shape.
+
+    A complete *branching*-ary tree of switches of the given *depth*
+    (depth 1 = a single switch), with *machines_per_leaf* machines on
+    each leaf switch.  Multi-building campus networks look like this,
+    and it exercises the scheduler on long root paths.
+    """
+    if branching < 1 or depth < 1:
+        raise TopologyError("branching and depth must be at least 1")
+    if machines_per_leaf < 1:
+        raise TopologyError("need at least one machine per leaf switch")
+    topo = Topology()
+    topo.add_switch("s0")
+    level = ["s0"]
+    counter = 1
+    for _ in range(depth - 1):
+        nxt: List[str] = []
+        for parent in level:
+            for _ in range(branching):
+                name = f"s{counter}"
+                counter += 1
+                topo.add_switch(name)
+                topo.add_link(parent, name)
+                nxt.append(name)
+        level = nxt
+    rank = 0
+    for leaf in level:
+        for _ in range(machines_per_leaf):
+            name = f"{prefix}{rank}"
+            topo.add_machine(name)
+            topo.add_link(leaf, name)
+            rank += 1
+    topo.validate()
+    return topo
+
+
+def random_tree(
+    num_machines: int,
+    num_switches: int,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Topology:
+    """A seeded random cluster: a random switch tree with machines as leaves.
+
+    Switches form a random recursive tree (each new switch picks a random
+    existing switch as its parent); each machine then attaches to a
+    uniformly random switch.  Deterministic for a given *seed*.
+
+    Used by the hypothesis-based property tests, the scheduler's
+    random-topology campaigns, and the ablation benchmarks.
+    """
+    if num_switches < 1:
+        raise TopologyError("need at least one switch")
+    if num_machines < 1:
+        raise TopologyError("need at least one machine")
+    if rng is None:
+        rng = random.Random(seed)
+    topo = Topology()
+    topo.add_switch("s0")
+    for i in range(1, num_switches):
+        topo.add_switch(f"s{i}")
+        parent = rng.randrange(i)
+        topo.add_link(f"s{parent}", f"s{i}")
+    for r in range(num_machines):
+        topo.add_machine(f"n{r}")
+        topo.add_link(f"s{rng.randrange(num_switches)}", f"n{r}")
+    topo.validate()
+    return topo

@@ -1,0 +1,336 @@
+"""The tree network model from Section 3 of the paper.
+
+A cluster is a directed graph ``G = (V, E)`` where ``V = S ∪ M`` —
+switches and machines — and every physical link ``(u, v)`` contributes
+two unidirectional edges ``(u, v)`` and ``(v, u)`` (full-duplex
+Ethernet).  The spanning-tree protocol guarantees the physical topology
+is a tree, so there is a unique path between any two nodes and machines
+can only be leaves.
+
+:class:`Topology` enforces these structural invariants on
+:meth:`Topology.validate` and offers the queries the scheduling core
+needs: neighbours, subtree machine counts, unique paths (via
+:class:`repro.topology.paths.PathOracle`) and the machine↔rank mapping
+used by the MPI-style layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+
+#: A unidirectional channel between two adjacent nodes.
+Edge = Tuple[str, str]
+
+
+class NodeKind(enum.Enum):
+    """Kind of a node in the cluster graph."""
+
+    MACHINE = "machine"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A named node in the cluster graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"n0"`` or ``"s1"``.
+    kind:
+        Whether the node is a compute machine (leaf) or a switch.
+    """
+
+    name: str
+    kind: NodeKind
+
+    @property
+    def is_machine(self) -> bool:
+        return self.kind is NodeKind.MACHINE
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind is NodeKind.SWITCH
+
+
+class Topology:
+    """A switched-Ethernet cluster modelled as an undirected tree.
+
+    Nodes are added with :meth:`add_machine` / :meth:`add_switch` and
+    connected with :meth:`add_link`.  Machines are assigned contiguous
+    MPI-style ranks in insertion order.  Call :meth:`validate` (or build
+    through :mod:`repro.topology.builder`) before handing a topology to
+    the scheduler; validation checks the tree invariants once so that all
+    later queries can assume them.
+
+    Example
+    -------
+    >>> topo = Topology()
+    >>> topo.add_switch("s0")
+    >>> topo.add_machine("n0"); topo.add_machine("n1"); topo.add_machine("n2")
+    >>> for m in ("n0", "n1", "n2"):
+    ...     topo.add_link("s0", m)
+    >>> topo.validate()
+    >>> topo.num_machines
+    3
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._adj: Dict[str, List[str]] = {}
+        self._machines: List[str] = []
+        self._switches: List[str] = []
+        self._links: List[Tuple[str, str]] = []
+        self._validated = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_machine(self, name: str) -> None:
+        """Add a compute machine (must end up a leaf of the tree)."""
+        self._add_node(name, NodeKind.MACHINE)
+        self._machines.append(name)
+
+    def add_switch(self, name: str) -> None:
+        """Add an Ethernet switch (interior node)."""
+        self._add_node(name, NodeKind.SWITCH)
+        self._switches.append(name)
+
+    def _add_node(self, name: str, kind: NodeKind) -> None:
+        if not name:
+            raise TopologyError("node name must be non-empty")
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name: {name!r}")
+        self._nodes[name] = Node(name, kind)
+        self._adj[name] = []
+        self._validated = False
+
+    def add_link(self, u: str, v: str) -> None:
+        """Add a full-duplex physical link between nodes *u* and *v*.
+
+        The link contributes the directed edges ``(u, v)`` and ``(v, u)``.
+        """
+        for name in (u, v):
+            if name not in self._nodes:
+                raise TopologyError(f"unknown node: {name!r}")
+        if u == v:
+            raise TopologyError(f"self-link on node {u!r}")
+        if v in self._adj[u]:
+            raise TopologyError(f"duplicate link between {u!r} and {v!r}")
+        self._adj[u].append(v)
+        self._adj[v].append(u)
+        self._links.append((u, v))
+        self._validated = False
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> Sequence[str]:
+        """Machine names in rank order."""
+        return tuple(self._machines)
+
+    @property
+    def switches(self) -> Sequence[str]:
+        """Switch names in insertion order."""
+        return tuple(self._switches)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._machines)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self._switches)
+
+    @property
+    def links(self) -> Sequence[Tuple[str, str]]:
+        """Physical (undirected) links in insertion order."""
+        return tuple(self._links)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def is_machine(self, name: str) -> bool:
+        return self.node(name).is_machine
+
+    def is_switch(self, name: str) -> bool:
+        return self.node(name).is_switch
+
+    def neighbors(self, name: str) -> Sequence[str]:
+        """Neighbours of *name* in link-insertion order."""
+        if name not in self._adj:
+            raise TopologyError(f"unknown node: {name!r}")
+        return tuple(self._adj[name])
+
+    def degree(self, name: str) -> int:
+        return len(self.neighbors(name))
+
+    def directed_edges(self) -> Iterator[Edge]:
+        """Iterate over every unidirectional channel."""
+        for u, v in self._links:
+            yield (u, v)
+            yield (v, u)
+
+    # ------------------------------------------------------------------
+    # rank mapping
+    # ------------------------------------------------------------------
+    def rank_of(self, machine: str) -> int:
+        """MPI-style rank of a machine (insertion order)."""
+        node = self.node(machine)
+        if not node.is_machine:
+            raise TopologyError(f"{machine!r} is a switch, not a machine")
+        return self._machines.index(machine)
+
+    def machine_of(self, rank: int) -> str:
+        """Machine name for an MPI-style rank."""
+        if not 0 <= rank < len(self._machines):
+            raise TopologyError(
+                f"rank {rank} out of range [0, {len(self._machines)})"
+            )
+        return self._machines[rank]
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the Section 3 invariants; raise :class:`TopologyError` if violated.
+
+        The invariants: at least one machine exists, the graph is
+        connected, it is acyclic (``#links == #nodes - 1`` with
+        connectivity), and every machine is a leaf.
+        """
+        if not self._machines:
+            raise TopologyError("topology has no machines")
+        n_nodes = len(self._nodes)
+        if len(self._links) != n_nodes - 1:
+            raise TopologyError(
+                f"not a tree: {n_nodes} nodes but {len(self._links)} links "
+                f"(a tree needs exactly {n_nodes - 1})"
+            )
+        # connectivity via BFS from an arbitrary node
+        start = next(iter(self._nodes))
+        seen: Set[str] = {start}
+        frontier = [start]
+        while frontier:
+            nxt: List[str] = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        if len(seen) != n_nodes:
+            raise TopologyError(
+                f"not connected: reached {len(seen)} of {n_nodes} nodes"
+            )
+        for m in self._machines:
+            if len(self._adj[m]) != 1:
+                raise TopologyError(
+                    f"machine {m!r} has degree {len(self._adj[m])}; machines "
+                    "must be leaves attached to exactly one switch"
+                )
+            # A machine may attach directly to another machine only in the
+            # degenerate 2-node cluster; the paper assumes |M| >= 3 with
+            # switches, but we only require the peer to exist.
+        self._validated = True
+
+    @property
+    def validated(self) -> bool:
+        return self._validated
+
+    # ------------------------------------------------------------------
+    # subtree decomposition
+    # ------------------------------------------------------------------
+    def component_without_edge(self, u: str, v: str) -> FrozenSet[str]:
+        """Nodes of the connected component containing *u* when link (u, v) is removed.
+
+        This is ``G_u`` from Section 3: removing a tree link splits the
+        graph into exactly two components.
+        """
+        if v not in self._adj.get(u, ()):  # also validates u
+            raise TopologyError(f"no link between {u!r} and {v!r}")
+        seen: Set[str] = {u}
+        frontier = [u]
+        while frontier:
+            nxt: List[str] = []
+            for a in frontier:
+                for b in self._adj[a]:
+                    if b == v and a == u:
+                        continue
+                    if b not in seen:
+                        seen.add(b)
+                        nxt.append(b)
+            frontier = nxt
+        if v in seen:
+            raise TopologyError(
+                f"removing link ({u!r}, {v!r}) did not disconnect the graph; "
+                "topology is not a tree"
+            )
+        return frozenset(seen)
+
+    def machines_in(self, nodes: Iterable[str]) -> List[str]:
+        """Machines among *nodes*, in rank order."""
+        node_set = set(nodes)
+        return [m for m in self._machines if m in node_set]
+
+    def subtree_nodes(self, root: str, branch: str) -> FrozenSet[str]:
+        """Nodes of the subtree hanging off *root* through neighbour *branch*.
+
+        Equivalent to the component of *branch* when link (root, branch)
+        is removed.
+        """
+        return self.component_without_edge(branch, root)
+
+    def subtree_machines(self, root: str, branch: str) -> List[str]:
+        """Machines in the subtree of *root* through *branch*, rank order."""
+        return self.machines_in(self.subtree_nodes(root, branch))
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(machines={len(self._machines)}, "
+            f"switches={len(self._switches)}, links={len(self._links)})"
+        )
+
+    def copy(self) -> "Topology":
+        """Deep-ish copy (nodes are immutable)."""
+        other = Topology()
+        for name in self._nodes:
+            node = self._nodes[name]
+            if node.is_machine:
+                other.add_machine(name)
+            else:
+                other.add_switch(name)
+        for u, v in self._links:
+            other.add_link(u, v)
+        if self._validated:
+            other.validate()
+        return other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self._machines == other._machines
+            and self._switches == other._switches
+            and set(map(frozenset, self._links)) == set(map(frozenset, other._links))
+        )
+
+    def __hash__(self) -> int:  # topologies are mutable; identity hash
+        return id(self)

@@ -1,0 +1,130 @@
+"""Unique-path queries on tree topologies.
+
+On a tree there is exactly one simple path between any two nodes, so the
+paper can speak of *the* path ``path(u, v)`` — the set of directed edges
+from ``u`` to ``v`` (Section 3).  :class:`PathOracle` answers those
+queries in O(path length) after a single BFS, and caches the directed
+edge sets that the contention checker asks for repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import Edge, Topology
+
+
+class PathOracle:
+    """Answers ``path(u, v)`` queries on a validated :class:`Topology`.
+
+    The oracle roots the tree at an arbitrary node, records parent
+    pointers and depths with one BFS, and derives any path from the two
+    node→LCA segments.  Edge-set results are memoised because the
+    contention-free verifier queries the same machine pairs once per
+    phase.
+
+    Example
+    -------
+    >>> from repro.topology import paper_example_cluster
+    >>> topo = paper_example_cluster()
+    >>> oracle = PathOracle(topo)
+    >>> oracle.path_nodes("n0", "n3")
+    ('n0', 's0', 's1', 's3', 'n3')
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if not topology.validated:
+            topology.validate()
+        self.topology = topology
+        self._parent: Dict[str, Optional[str]] = {}
+        self._depth: Dict[str, int] = {}
+        self._edge_cache: Dict[Tuple[str, str], FrozenSet[Edge]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        root = self.topology.machines[0]
+        self._parent[root] = None
+        self._depth[root] = 0
+        frontier = [root]
+        while frontier:
+            nxt: List[str] = []
+            for u in frontier:
+                for v in self.topology.neighbors(u):
+                    if v not in self._parent:
+                        self._parent[v] = u
+                        self._depth[v] = self._depth[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+
+    # ------------------------------------------------------------------
+    def lca(self, u: str, v: str) -> str:
+        """Lowest common ancestor of *u* and *v* under the BFS rooting."""
+        du, dv = self._depth_of(u), self._depth_of(v)
+        while du > dv:
+            u = self._parent[u]  # type: ignore[assignment]
+            du -= 1
+        while dv > du:
+            v = self._parent[v]  # type: ignore[assignment]
+            dv -= 1
+        while u != v:
+            u = self._parent[u]  # type: ignore[assignment]
+            v = self._parent[v]  # type: ignore[assignment]
+        return u
+
+    def _depth_of(self, u: str) -> int:
+        try:
+            return self._depth[u]
+        except KeyError:
+            raise TopologyError(f"unknown node: {u!r}") from None
+
+    def path_nodes(self, u: str, v: str) -> Tuple[str, ...]:
+        """The node sequence of the unique path from *u* to *v* (inclusive)."""
+        if u == v:
+            return (u,)
+        anc = self.lca(u, v)
+        up: List[str] = []
+        node = u
+        while node != anc:
+            up.append(node)
+            node = self._parent[node]  # type: ignore[assignment]
+        up.append(anc)
+        down: List[str] = []
+        node = v
+        while node != anc:
+            down.append(node)
+            node = self._parent[node]  # type: ignore[assignment]
+        return tuple(up + list(reversed(down)))
+
+    def path_edges(self, u: str, v: str) -> Tuple[Edge, ...]:
+        """The directed edges of ``path(u, v)``, in traversal order."""
+        nodes = self.path_nodes(u, v)
+        return tuple(zip(nodes, nodes[1:]))
+
+    def path_edge_set(self, u: str, v: str) -> FrozenSet[Edge]:
+        """``path(u, v)`` as a frozenset of directed edges (memoised)."""
+        key = (u, v)
+        cached = self._edge_cache.get(key)
+        if cached is None:
+            cached = frozenset(self.path_edges(u, v))
+            self._edge_cache[key] = cached
+        return cached
+
+    def hops(self, u: str, v: str) -> int:
+        """Number of directed edges on ``path(u, v)``."""
+        anc = self.lca(u, v)
+        return (self._depth_of(u) - self._depth[anc]) + (
+            self._depth_of(v) - self._depth[anc]
+        )
+
+    def messages_conflict(self, a: Tuple[str, str], b: Tuple[str, str]) -> bool:
+        """True when messages ``a = u1→v1`` and ``b = u2→v2`` share a directed edge.
+
+        This is the paper's definition of *contention* between two
+        messages.
+        """
+        pa = self.path_edge_set(*a)
+        pb = self.path_edge_set(*b)
+        if len(pa) > len(pb):
+            pa, pb = pb, pa
+        return any(e in pb for e in pa)

@@ -1,0 +1,111 @@
+"""Text format for physical (possibly redundant) wiring descriptions.
+
+The forwarding-topology format (:mod:`repro.topology.serialization`)
+describes the *tree* the scheduler consumes.  This format describes the
+*wiring* — redundant trunks, bridge priorities — that the spanning-tree
+protocol reduces to that tree::
+
+    # two redundant trunks between the core pair
+    switch core1 priority=4096
+    switch core2
+    switch leaf1
+    machine n0 leaf1
+    trunk core1 core2 cost=19
+    trunk core1 core2
+    trunk core1 leaf1
+    trunk core2 leaf1
+
+``switch NAME [priority=P]`` declares a bridge; ``machine NAME SWITCH``
+attaches a host; ``trunk A B [cost=C]`` adds a switch-to-switch link
+(repeatable for parallel links).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Union
+
+from repro.errors import TopologyFormatError
+from repro.topology.spanning_tree import DEFAULT_LINK_COST, PhysicalNetwork
+
+
+def loads_physical(text: str) -> PhysicalNetwork:
+    """Parse a physical wiring description from a string."""
+    return load_physical(io.StringIO(text))
+
+
+def load_physical(source: Union[str, IO[str]]) -> PhysicalNetwork:
+    """Parse a physical wiring description from a path or stream."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_physical(fh)
+    network = PhysicalNetwork()
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword, args = fields[0].lower(), fields[1:]
+        try:
+            if keyword == "switch":
+                if not args:
+                    raise TopologyFormatError(
+                        f"line {lineno}: switch needs a name"
+                    )
+                name = args[0]
+                priority = 32768
+                for extra in args[1:]:
+                    key, _, value = extra.partition("=")
+                    if key != "priority" or not value:
+                        raise TopologyFormatError(
+                            f"line {lineno}: unknown switch option {extra!r}"
+                        )
+                    priority = int(value)
+                network.add_switch(name, priority)
+            elif keyword == "machine":
+                if len(args) != 2:
+                    raise TopologyFormatError(
+                        f"line {lineno}: machine needs NAME SWITCH"
+                    )
+                network.add_machine(args[0], args[1])
+            elif keyword == "trunk":
+                if len(args) < 2:
+                    raise TopologyFormatError(
+                        f"line {lineno}: trunk needs two switches"
+                    )
+                cost = DEFAULT_LINK_COST
+                for extra in args[2:]:
+                    key, _, value = extra.partition("=")
+                    if key != "cost" or not value:
+                        raise TopologyFormatError(
+                            f"line {lineno}: unknown trunk option {extra!r}"
+                        )
+                    cost = int(value)
+                network.add_link(args[0], args[1], cost)
+            else:
+                raise TopologyFormatError(
+                    f"line {lineno}: unknown keyword {keyword!r}"
+                )
+        except TopologyFormatError:
+            raise
+        except Exception as exc:
+            raise TopologyFormatError(f"line {lineno}: {exc}") from exc
+    return network
+
+
+def dumps_physical(network: PhysicalNetwork) -> str:
+    """Serialize a physical wiring (round-trips with loads)."""
+    out = io.StringIO()
+    for name, priority in network.switch_priority.items():
+        if priority == 32768:
+            out.write(f"switch {name}\n")
+        else:
+            out.write(f"switch {name} priority={priority}\n")
+    for machine, switch in network.machine_attachment.items():
+        out.write(f"machine {machine} {switch}\n")
+    for a, b, cost in network.switch_links:
+        if cost == DEFAULT_LINK_COST:
+            out.write(f"trunk {a} {b}\n")
+        else:
+            out.write(f"trunk {a} {b} cost={cost}\n")
+    return out.getvalue()

@@ -1,0 +1,97 @@
+"""Text format for topology descriptions.
+
+The paper's routine generator "takes the topology information as input";
+this module defines that input format for our reproduction.  It is a
+line-oriented format that is trivial to write by hand or emit from
+switch-discovery tooling::
+
+    # Figure 1 example cluster
+    switch s0 s1 s2 s3
+    machine n0 n1 n2 n3 n4 n5
+    link s0 n0
+    link s0 s2
+    ...
+
+Declaration order matters for machines: it fixes the MPI rank mapping.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, List, Union
+
+from repro.errors import TopologyFormatError
+from repro.topology.graph import Topology
+
+
+def loads_topology(text: str) -> Topology:
+    """Parse a topology description from a string."""
+    return load_topology(io.StringIO(text))
+
+
+def load_topology(source: Union[str, IO[str]]) -> Topology:
+    """Parse a topology description from a file path or text stream."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_topology(fh)
+    topo = Topology()
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword, args = fields[0].lower(), fields[1:]
+        try:
+            if keyword == "switch":
+                _require(args, lineno, "switch needs at least one name")
+                for name in args:
+                    topo.add_switch(name)
+            elif keyword == "machine":
+                _require(args, lineno, "machine needs at least one name")
+                for name in args:
+                    topo.add_machine(name)
+            elif keyword == "link":
+                if len(args) != 2:
+                    raise TopologyFormatError(
+                        f"line {lineno}: link needs exactly two endpoints"
+                    )
+                topo.add_link(args[0], args[1])
+            else:
+                raise TopologyFormatError(
+                    f"line {lineno}: unknown keyword {keyword!r}"
+                )
+        except TopologyFormatError:
+            raise
+        except Exception as exc:  # wrap TopologyError with line context
+            raise TopologyFormatError(f"line {lineno}: {exc}") from exc
+    try:
+        topo.validate()
+    except Exception as exc:
+        raise TopologyFormatError(f"invalid topology: {exc}") from exc
+    return topo
+
+
+def _require(args: List[str], lineno: int, message: str) -> None:
+    if not args:
+        raise TopologyFormatError(f"line {lineno}: {message}")
+
+
+def dumps_topology(topology: Topology) -> str:
+    """Serialize a topology to the text format (round-trips with loads)."""
+    out = io.StringIO()
+    dump_topology(topology, out)
+    return out.getvalue()
+
+
+def dump_topology(topology: Topology, sink: Union[str, IO[str]]) -> None:
+    """Serialize a topology to a file path or text stream."""
+    if isinstance(sink, str):
+        with open(sink, "w", encoding="utf-8") as fh:
+            dump_topology(topology, fh)
+            return
+    if topology.switches:
+        sink.write("switch " + " ".join(topology.switches) + "\n")
+    if topology.machines:
+        sink.write("machine " + " ".join(topology.machines) + "\n")
+    for u, v in topology.links:
+        sink.write(f"link {u} {v}\n")

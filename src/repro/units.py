@@ -1,0 +1,84 @@
+"""Unit helpers: byte sizes, bandwidths and times.
+
+The paper reports message sizes in binary units (8KB ... 256KB), link
+bandwidth in Mbps (100 Mbps Ethernet) and completion times in
+milliseconds.  These helpers keep conversions explicit and in one place so
+benchmark code never multiplies by a bare ``1e6``.
+
+Conventions used throughout the library:
+
+* sizes are in **bytes** (int),
+* bandwidths are in **bytes per second** (float),
+* times are in **seconds** (float).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Bits per byte — Ethernet bandwidth is quoted in bits/second.
+BITS_PER_BYTE = 8
+
+
+def kib(n: float) -> int:
+    """Return *n* KiB expressed in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Return *n* MiB expressed in bytes."""
+    return int(n * MIB)
+
+
+def mbps(n: float) -> float:
+    """Convert a bandwidth in megabits/second to bytes/second.
+
+    ``mbps(100)`` is the 100 Mbps fast-Ethernet link speed used in the
+    paper's test cluster.
+    """
+    return n * 1e6 / BITS_PER_BYTE
+
+
+def gbps(n: float) -> float:
+    """Convert a bandwidth in gigabits/second to bytes/second."""
+    return n * 1e9 / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_mbps(bps: float) -> float:
+    """Convert bytes/second back to megabits/second (for reports)."""
+    return bps * BITS_PER_BYTE / 1e6
+
+
+def ms(t: float) -> float:
+    """Convert milliseconds to seconds."""
+    return t * 1e-3
+
+
+def us(t: float) -> float:
+    """Convert microseconds to seconds."""
+    return t * 1e-6
+
+
+def seconds_to_ms(t: float) -> float:
+    """Convert seconds to milliseconds (for reports)."""
+    return t * 1e3
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count the way the paper's tables do (``64KB``)."""
+    if nbytes % MIB == 0 and nbytes >= MIB:
+        return f"{nbytes // MIB}MB"
+    if nbytes % KIB == 0 and nbytes >= KIB:
+        return f"{nbytes // KIB}KB"
+    return f"{nbytes}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"64KB"``/``"1MB"``/``"512"`` style size strings to bytes."""
+    s = text.strip().upper()
+    for suffix, mult in (("MB", MIB), ("M", MIB), ("KB", KIB), ("K", KIB), ("B", 1)):
+        if s.endswith(suffix):
+            return int(float(s[: -len(suffix)]) * mult)
+    return int(s)

@@ -1,0 +1,137 @@
+"""Tests for the LAM and MPICH baseline algorithms."""
+
+import pytest
+
+from repro.algorithms import (
+    LamAlltoall,
+    MpichSelector,
+    OrderedIsendAlltoall,
+    PairwiseAlltoall,
+    RingAlltoall,
+)
+from repro.algorithms.mpich import BRUCK_THRESHOLD, LARGE_THRESHOLD, is_power_of_two
+from repro.core.program import OpKind
+from repro.errors import SchedulingError
+from repro.sim.executor import run_programs
+from repro.topology.builder import single_switch
+from repro.units import kib
+
+
+@pytest.fixture
+def topo8():
+    return single_switch(8)
+
+
+@pytest.fixture
+def topo6():
+    return single_switch(6)
+
+
+class TestLam:
+    def test_post_everything_structure(self, topo8):
+        programs = LamAlltoall().build_programs(topo8, kib(64))
+        prog = programs["n3"]
+        assert prog.count(OpKind.IRECV) == 7
+        assert prog.count(OpKind.ISEND) == 7
+        assert prog.count(OpKind.WAITALL) == 1
+        # single waitall at the very end
+        assert prog.ops[-1].kind == OpKind.WAITALL
+
+    def test_ascending_rank_order(self, topo8):
+        """Paper: node i sends i->0, i->1, ..., i->N-1."""
+        programs = LamAlltoall().build_programs(topo8, kib(64))
+        sends = [op.peer for op in programs["n3"].ops if op.kind == OpKind.ISEND]
+        assert sends == ["n0", "n1", "n2", "n4", "n5", "n6", "n7"]
+
+    def test_recvs_posted_before_sends(self, topo8):
+        programs = LamAlltoall().build_programs(topo8, kib(64))
+        kinds = [op.kind for op in programs["n0"].ops]
+        last_recv = max(i for i, k in enumerate(kinds) if k == OpKind.IRECV)
+        first_send = min(i for i, k in enumerate(kinds) if k == OpKind.ISEND)
+        assert last_recv < first_send
+
+    def test_delivers(self, topo6, quiet_params):
+        programs = LamAlltoall().build_programs(topo6, kib(64))
+        run_programs(topo6, programs, kib(64), quiet_params)  # delivery check on
+
+
+class TestOrderedIsend:
+    def test_staggered_order(self, topo8):
+        """MPICH medium: node i targets i+1, i+2, ..."""
+        programs = OrderedIsendAlltoall().build_programs(topo8, kib(8))
+        sends = [op.peer for op in programs["n3"].ops if op.kind == OpKind.ISEND]
+        assert sends == ["n4", "n5", "n6", "n7", "n0", "n1", "n2"]
+
+    def test_delivers(self, topo6, quiet_params):
+        programs = OrderedIsendAlltoall().build_programs(topo6, kib(8))
+        run_programs(topo6, programs, kib(8), quiet_params)
+
+
+class TestPairwise:
+    def test_xor_partners(self, topo8):
+        programs = PairwiseAlltoall().build_programs(topo8, kib(64))
+        prog = programs["n5"]
+        sends = [op.peer for op in prog.ops if op.kind == OpKind.ISEND]
+        expected = [f"n{5 ^ j}" for j in range(1, 8)]
+        assert sends == expected
+
+    def test_step_structure(self, topo8):
+        programs = PairwiseAlltoall().build_programs(topo8, kib(64))
+        prog = programs["n0"]
+        assert prog.count(OpKind.WAITALL) == 7  # one per step
+        # each step: irecv then isend then waitall
+        kinds = [op.kind for op in prog.ops[:3]]
+        assert kinds == [OpKind.IRECV, OpKind.ISEND, OpKind.WAITALL]
+
+    def test_rejects_non_power_of_two(self, topo6):
+        with pytest.raises(SchedulingError, match="power-of-two"):
+            PairwiseAlltoall().build_programs(topo6, kib(64))
+
+    def test_delivers(self, topo8, quiet_params):
+        programs = PairwiseAlltoall().build_programs(topo8, kib(64))
+        run_programs(topo8, programs, kib(64), quiet_params)
+
+
+class TestRing:
+    def test_send_recv_peers(self, topo6):
+        """Step j: send to (i+j) mod N, receive from (i-j) mod N."""
+        programs = RingAlltoall().build_programs(topo6, kib(64))
+        prog = programs["n2"]
+        sends = [op.peer for op in prog.ops if op.kind == OpKind.ISEND]
+        recvs = [op.peer for op in prog.ops if op.kind == OpKind.IRECV]
+        assert sends == [f"n{(2 + j) % 6}" for j in range(1, 6)]
+        assert recvs == [f"n{(2 - j) % 6}" for j in range(1, 6)]
+
+    def test_delivers(self, topo6, quiet_params):
+        programs = RingAlltoall().build_programs(topo6, kib(64))
+        run_programs(topo6, programs, kib(64), quiet_params)
+
+
+class TestSelector:
+    @pytest.fixture
+    def selector(self):
+        return MpichSelector()
+
+    def test_thresholds(self, selector, topo8, topo6):
+        assert selector.select(topo8, BRUCK_THRESHOLD).name == "bruck"
+        assert selector.select(topo8, BRUCK_THRESHOLD + 1).name == "mpich-ordered-isend"
+        assert selector.select(topo8, LARGE_THRESHOLD).name == "mpich-ordered-isend"
+        assert selector.select(topo8, LARGE_THRESHOLD + 1).name == "mpich-pairwise"
+        assert selector.select(topo6, LARGE_THRESHOLD + 1).name == "mpich-ring"
+
+    def test_paper_dispatch(self, selector):
+        """24 nodes -> ring; 32 nodes -> pairwise (paper Section 6)."""
+        assert selector.select(single_switch(24), kib(64)).name == "mpich-ring"
+        assert selector.select(single_switch(32), kib(64)).name == "mpich-pairwise"
+
+    def test_describe_names_selection(self, selector, topo6):
+        assert selector.describe(topo6, kib(64)) == "mpich(mpich-ring)"
+
+    def test_builds_and_delivers(self, selector, topo8, quiet_params):
+        for msize in (128, kib(8), kib(64)):
+            programs = selector.build_programs(topo8, msize)
+            run_programs(topo8, programs, msize, quiet_params)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(32)
+        assert not is_power_of_two(0) and not is_power_of_two(24)

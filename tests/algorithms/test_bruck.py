@@ -1,0 +1,77 @@
+"""Tests for the Bruck log-step all-to-all."""
+
+import math
+
+import pytest
+
+from repro.algorithms import BruckAlltoall
+from repro.core.program import OpKind
+from repro.sim.executor import run_programs
+from repro.topology.builder import single_switch
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,steps", [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)])
+    def test_log_steps(self, n, steps):
+        topo = single_switch(n)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        for prog in programs.values():
+            assert prog.count(OpKind.ISEND) == steps
+            assert prog.count(OpKind.WAITALL) == steps
+
+    def test_peers_are_powers_of_two_away(self):
+        topo = single_switch(8)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        prog = programs["n3"]
+        sends = [op.peer for op in prog.ops if op.kind == OpKind.ISEND]
+        assert sends == ["n4", "n5", "n7"]  # 3+1, 3+2, 3+4
+
+    def test_message_sizes_shrink_on_last_step_when_not_pof2(self):
+        """For N=6 the last step (2^2=4) moves slots {4,5}: 2 blocks."""
+        topo = single_switch(6)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        sizes = [
+            len(op.blocks)
+            for op in programs["n0"].ops
+            if op.kind == OpKind.ISEND
+        ]
+        assert sizes == [3, 2, 2]  # slots {1,3,5}, {2,3}, {4,5}
+
+    def test_forwarding_happens(self):
+        """Some step must carry blocks that did not originate at the sender."""
+        topo = single_switch(4)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        forwarded = [
+            block
+            for prog in programs.values()
+            for op in prog.ops
+            if op.kind == OpKind.ISEND
+            for block in op.blocks
+            if block[0] != prog.rank
+        ]
+        assert forwarded
+
+    def test_single_machine_trivial(self):
+        topo = single_switch(1)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        assert len(programs["n0"]) == 0
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 12, 16])
+    def test_every_block_delivered(self, n, quiet_params):
+        """The executor's delivery check proves Bruck end to end."""
+        topo = single_switch(n)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        run_programs(topo, programs, 128, quiet_params)
+
+    def test_total_traffic_matches_theory(self, quiet_params):
+        """Bruck moves ~(N/2)*log2(N) blocks per rank."""
+        n = 8
+        topo = single_switch(n)
+        programs = BruckAlltoall().build_programs(topo, 128)
+        per_rank_blocks = [
+            sum(len(op.blocks) for op in prog.ops if op.kind == OpKind.ISEND)
+            for prog in programs.values()
+        ]
+        assert all(b == (n // 2) * int(math.log2(n)) for b in per_rank_blocks)

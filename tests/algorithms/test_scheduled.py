@@ -1,0 +1,105 @@
+"""Tests for the generated (paper) algorithm wrapper and the registry."""
+
+import pytest
+
+from repro.algorithms import GeneratedAlltoall, available_algorithms, get_algorithm
+from repro.core.program import OpKind
+from repro.core.verify import verify_schedule
+from repro.errors import ReproError
+from repro.sim.executor import run_programs
+from repro.topology.builder import single_switch, star_of_switches
+from repro.units import kib
+
+
+class TestGeneratedAlltoall:
+    def test_schedule_is_verified(self, fig1):
+        algorithm = GeneratedAlltoall(root="s1")
+        schedule = algorithm.build_schedule(fig1)
+        verify_schedule(schedule)
+
+    def test_programs_carry_syncs(self, fig1):
+        algorithm = GeneratedAlltoall(root="s1")
+        programs = algorithm.build_programs(fig1, kib(64))
+        syncs = sum(p.count(OpKind.SYNC_SEND) for p in programs.values())
+        assert syncs == len(algorithm.last_sync_plan.syncs) > 0
+
+    def test_sync_mode_none_has_no_syncs(self, fig1):
+        algorithm = GeneratedAlltoall(sync_mode="none")
+        programs = algorithm.build_programs(fig1, kib(64))
+        assert all(p.count(OpKind.SYNC_SEND) == 0 for p in programs.values())
+        assert algorithm.last_sync_plan is None
+
+    def test_sync_mode_barrier(self, fig1):
+        algorithm = GeneratedAlltoall(sync_mode="barrier")
+        programs = algorithm.build_programs(fig1, kib(64))
+        assert any(p.count(OpKind.BARRIER) > 0 for p in programs.values())
+
+    def test_names(self):
+        assert GeneratedAlltoall().name == "generated"
+        assert GeneratedAlltoall(sync_mode="barrier").name == "generated-barrier"
+        assert GeneratedAlltoall(sync_mode="none").name == "generated-none"
+        assert (
+            GeneratedAlltoall(remove_redundant_syncs=False).name
+            == "generated-allsyncs"
+        )
+
+    def test_describe_mentions_root(self, fig1):
+        assert "root=s1" in GeneratedAlltoall(root="s1").describe(fig1, kib(64))
+
+    def test_delivers(self, small_star, quiet_params):
+        programs = GeneratedAlltoall().build_programs(small_star, kib(64))
+        run_programs(small_star, programs, kib(64), quiet_params)
+
+    def test_no_redundant_removal_still_correct(self, fig1, quiet_params):
+        algorithm = GeneratedAlltoall(remove_redundant_syncs=False)
+        programs = algorithm.build_programs(fig1, kib(64))
+        run_programs(fig1, programs, kib(64), quiet_params)
+
+    def test_matching_embedding_option(self, small_star, quiet_params):
+        algorithm = GeneratedAlltoall(local_embedding="matching")
+        programs = algorithm.build_programs(small_star, kib(64))
+        run_programs(small_star, programs, kib(64), quiet_params)
+
+
+class TestRuntimeContentionFreedom:
+    def test_max_multiplexing_is_one_with_rendezvous(self, quiet_params):
+        """At rendezvous sizes the pairwise syncs keep every link at
+        one flow — the schedule's contention freedom holds at runtime."""
+        topo = star_of_switches([3, 3, 2])
+        programs = GeneratedAlltoall().build_programs(topo, kib(64))
+        result = run_programs(topo, programs, kib(64), quiet_params)
+        assert result.max_edge_multiplexing == 1
+
+    def test_without_syncs_contention_appears(self):
+        """Dropping the syncs lets phases overlap under noise."""
+        from repro.sim.params import NetworkParams
+
+        topo = star_of_switches([3, 3, 2])
+        params = NetworkParams(seed=3)  # noisy
+        programs = GeneratedAlltoall(sync_mode="none").build_programs(
+            topo, kib(64)
+        )
+        result = run_programs(topo, programs, kib(64), params)
+        assert result.max_edge_multiplexing >= 2
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_algorithms()
+        assert "lam" in names and "mpich" in names and "generated" in names
+
+    def test_instances_fresh(self):
+        assert get_algorithm("lam") is not get_algorithm("lam")
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            get_algorithm("turbo")
+
+    @pytest.mark.parametrize("name", ["lam", "mpich", "bruck", "generated",
+                                      "generated-barrier", "generated-nosync",
+                                      "mpich-ordered-isend", "mpich-ring"])
+    def test_all_registered_algorithms_deliver(self, name, quiet_params):
+        topo = single_switch(4)
+        algorithm = get_algorithm(name)
+        programs = algorithm.build_programs(topo, kib(64))
+        run_programs(topo, programs, kib(64), quiet_params)

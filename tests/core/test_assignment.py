@@ -1,0 +1,128 @@
+"""Golden tests for the six-step assignment (Figure 4, Tables 3-4)."""
+
+import pytest
+
+from repro.core.assignment import assign_messages, table3_receiver
+from repro.core.global_schedule import build_global_schedule
+from repro.core.pattern import Message
+from repro.core.root import identify_root
+from repro.core.schedule import MessageKind
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def fig1_schedule(fig1):
+    info = identify_root(fig1, root="s1")
+    gs = build_global_schedule(info.sizes)
+    return assign_messages(fig1, info, gs)
+
+
+class TestTable3Mapping:
+    def test_round0_is_shift_by_one(self):
+        # round 0: t0,m -> t0,(m+1)
+        for m in range(5):
+            assert table3_receiver(m, 0, 5) == (m + 1) % 5
+
+    def test_round_r_is_shift_by_r_plus_one(self):
+        for r in range(5):
+            for m in range(5):
+                assert table3_receiver(m, r, 5) == (m + r + 1) % 5
+
+    def test_last_round_is_identity(self):
+        # round |M0| - 1 pairs each machine with itself (Table 3).
+        for m in range(4):
+            assert table3_receiver(m, 3, 4) == m
+
+    def test_rounds_wrap(self):
+        assert table3_receiver(1, 7, 3) == table3_receiver(1, 7 % 3, 3)
+
+    def test_rejects_bad_sender(self):
+        with pytest.raises(SchedulingError):
+            table3_receiver(5, 0, 5)
+
+
+def phase_dict(schedule):
+    """{phase: set of 'src->dst' strings} for compact golden comparison."""
+    return {
+        p: {str(sm.message) for sm in schedule.phase(p)}
+        for p in range(schedule.num_phases)
+    }
+
+
+class TestTable4Golden:
+    """The complete Table 4 of the paper (t0,0=n0 ... t2,0=n5)."""
+
+    EXPECTED = {
+        0: {"n0->n4", "n3->n5", "n5->n1", "n1->n0"},
+        1: {"n1->n3", "n4->n5", "n5->n2", "n2->n1"},
+        2: {"n2->n4", "n5->n0", "n0->n2"},
+        3: {"n0->n3", "n3->n2", "n2->n0"},
+        4: {"n1->n4", "n3->n0", "n0->n1", "n4->n3"},
+        5: {"n2->n3", "n3->n1", "n1->n2"},
+        6: {"n0->n5", "n4->n0"},
+        7: {"n1->n5", "n4->n1", "n5->n3", "n3->n4"},
+        8: {"n2->n5", "n4->n2", "n5->n4"},
+    }
+
+    def test_full_table(self, fig1_schedule):
+        assert phase_dict(fig1_schedule) == self.EXPECTED
+
+    def test_local_messages_match_paper(self, fig1_schedule):
+        """t1,1->t1,0 at phase 4 and t1,0->t1,1 at phase 7 (Section 4.3)."""
+        assert fig1_schedule.phase_of(Message("n4", "n3")) == 4
+        assert fig1_schedule.phase_of(Message("n3", "n4")) == 7
+
+    def test_t0_locals_in_first_six_phases(self, fig1_schedule):
+        """Step 3: local messages of t0 occupy phases 0..|M0|*(|M0|-1)-1."""
+        for src in ("n0", "n1", "n2"):
+            for dst in ("n0", "n1", "n2"):
+                if src != dst:
+                    assert fig1_schedule.phase_of(Message(src, dst)) < 6
+
+    def test_kinds(self, fig1_schedule):
+        assert fig1_schedule.lookup(Message("n1", "n0")).kind is MessageKind.LOCAL
+        assert fig1_schedule.lookup(Message("n0", "n4")).kind is MessageKind.GLOBAL
+        assert fig1_schedule.lookup(Message("n0", "n4")).group == (0, 1)
+        assert fig1_schedule.lookup(Message("n4", "n3")).group == (1, 1)
+
+    def test_message_totals(self, fig1_schedule):
+        messages = fig1_schedule.all_messages()
+        assert len(messages) == 30
+        globals_ = [m for m in messages if m.kind is MessageKind.GLOBAL]
+        locals_ = [m for m in messages if m.kind is MessageKind.LOCAL]
+        # inter-subtree: 3*2 + 3*1 + 2*1 = 11 pairs each direction = 22
+        assert len(globals_) == 22
+        # local: 3*2 + 2*1 + 0 = 8
+        assert len(locals_) == 8
+
+
+class TestStepInvariants:
+    def test_at_most_one_local_per_subtree_per_phase(self, small_star):
+        info = identify_root(small_star)
+        schedule = assign_messages(
+            small_star, info, build_global_schedule(info.sizes)
+        )
+        for p in range(schedule.num_phases):
+            subtree_locals = [
+                sm.group[0] for sm in schedule.locals_in(p)
+            ]
+            assert len(subtree_locals) == len(set(subtree_locals))
+
+    def test_globals_follow_group_intervals(self, small_star):
+        info = identify_root(small_star)
+        gs = build_global_schedule(info.sizes)
+        schedule = assign_messages(small_star, info, gs)
+        for sm in schedule.all_messages():
+            if sm.kind is MessageKind.GLOBAL:
+                i, j = sm.group
+                assert sm.phase in gs.group(i, j)
+
+    def test_t0_sends_every_phase(self, small_chain):
+        info = identify_root(small_chain)
+        schedule = assign_messages(
+            small_chain, info, build_global_schedule(info.sizes)
+        )
+        t0_machines = set(info.subtrees[0].machines)
+        for p in range(schedule.num_phases):
+            senders = {sm.src for sm in schedule.globals_in(p)}
+            assert senders & t0_machines, f"t0 idle in phase {p}"

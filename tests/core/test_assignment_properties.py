@@ -1,0 +1,113 @@
+"""Property tests for the internal invariants of the six-step assignment.
+
+The Theorem (contention-free, complete, optimal) is property-tested in
+``test_scheduler.py``; these tests pin the *construction* details the
+paper's correctness argument leans on, on random trees.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.global_schedule import build_global_schedule
+from repro.core.root import identify_root
+from repro.core.schedule import MessageKind
+from repro.core.scheduler import schedule_aapc
+from repro.topology.builder import random_tree
+
+
+def build(seed, nm, ns):
+    topo = random_tree(nm, ns, seed=seed)
+    info = identify_root(topo)
+    schedule = schedule_aapc(topo, verify=False)
+    # schedule_aapc re-derives the root; recompute from its own info
+    info = schedule.root_info
+    gs = build_global_schedule(info.sizes)
+    return topo, info, gs, schedule
+
+
+PARAMS = dict(max_examples=25, deadline=None)
+
+
+class TestConstructionInvariants:
+    @settings(**PARAMS)
+    @given(seed=st.integers(0, 5000), nm=st.integers(4, 14), ns=st.integers(1, 5))
+    def test_t0_sends_a_global_message_every_phase(self, seed, nm, ns):
+        """Step 1's premise: t0's groups tile all phases."""
+        topo, info, gs, schedule = build(seed, nm, ns)
+        t0 = set(info.subtrees[0].machines)
+        for p in range(schedule.num_phases):
+            senders = {sm.src for sm in schedule.globals_in(p)}
+            assert senders & t0
+
+    @settings(**PARAMS)
+    @given(seed=st.integers(0, 5000), nm=st.integers(4, 14), ns=st.integers(1, 5))
+    def test_t0_receives_a_global_message_every_phase(self, seed, nm, ns):
+        """Step 2's premise: groups into t0 tile all phases."""
+        topo, info, gs, schedule = build(seed, nm, ns)
+        t0 = set(info.subtrees[0].machines)
+        for p in range(schedule.num_phases):
+            receivers = {sm.dst for sm in schedule.globals_in(p)}
+            assert receivers & t0
+
+    @settings(**PARAMS)
+    @given(seed=st.integers(0, 5000), nm=st.integers(4, 14), ns=st.integers(1, 5))
+    def test_t0_locals_in_first_window(self, seed, nm, ns):
+        """Step 3: t0's local messages occupy phases < |M0|*(|M0|-1)."""
+        topo, info, gs, schedule = build(seed, nm, ns)
+        m0 = info.sizes[0]
+        t0 = set(info.subtrees[0].machines)
+        for sm in schedule.all_messages():
+            if sm.kind is MessageKind.LOCAL and sm.src in t0:
+                assert sm.phase < m0 * (m0 - 1)
+
+    @settings(**PARAMS)
+    @given(seed=st.integers(0, 5000), nm=st.integers(4, 14), ns=st.integers(1, 5))
+    def test_subtree_locals_inside_their_window(self, seed, nm, ns):
+        """Step 5: locals of t_i sit in the phases of t_i -> t_{i-1}."""
+        topo, info, gs, schedule = build(seed, nm, ns)
+        for i in range(1, info.k):
+            if info.sizes[i] < 2:
+                continue
+            window = gs.group(i, i - 1)
+            members = set(info.subtrees[i].machines)
+            for sm in schedule.all_messages():
+                if sm.kind is MessageKind.LOCAL and sm.src in members:
+                    assert sm.phase in window
+
+    @settings(**PARAMS)
+    @given(seed=st.integers(0, 5000), nm=st.integers(4, 14), ns=st.integers(1, 5))
+    def test_global_receiver_alignment_into_non_t0(self, seed, nm, ns):
+        """Steps 1/4: in the phases where subtree i's locals live, any
+        global message into t_i targets the designated receiver
+        ``t_{i,(p-T) mod |Mi|}`` — the alignment step 5 relies on."""
+        topo, info, gs, schedule = build(seed, nm, ns)
+        T = schedule.num_phases
+        for i in range(1, info.k):
+            if info.sizes[i] < 2:
+                continue
+            subtree = info.subtrees[i]
+            members = set(subtree.machines)
+            window = gs.group(i, i - 1)
+            for p in range(window.start, window.end):
+                for sm in schedule.globals_in(p):
+                    if sm.dst in members:
+                        designated = subtree.machine((p - T) % subtree.size)
+                        assert sm.dst == designated
+
+    @settings(**PARAMS)
+    @given(seed=st.integers(0, 5000), nm=st.integers(4, 14), ns=st.integers(1, 5))
+    def test_local_pairs_are_receiver_to_sender(self, seed, nm, ns):
+        """Steps 3/5: a local message's sender is (or stands in for) the
+        subtree's global receiver and its receiver is the global sender."""
+        topo, info, gs, schedule = build(seed, nm, ns)
+        for p in range(schedule.num_phases):
+            global_senders = {sm.src for sm in schedule.globals_in(p)}
+            global_receivers = {sm.dst for sm in schedule.globals_in(p)}
+            for sm in schedule.locals_in(p):
+                # the local receiver always sends a global this phase
+                assert sm.dst in global_senders
+                # the local sender never also sends a global
+                assert sm.src not in global_senders
+                # and never receives one unless it IS the designated one
+                if sm.src in global_receivers:
+                    pass  # allowed: case (1) of Lemma 3

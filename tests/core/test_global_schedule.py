@@ -1,0 +1,94 @@
+"""Tests for the materialised global schedule (Section 4.2, Figure 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.global_schedule import build_global_schedule
+from repro.errors import SchedulingError
+
+
+class TestFigure3:
+    """sizes (3, 2, 1) — the paper's worked example."""
+
+    @pytest.fixture
+    def gs(self):
+        return build_global_schedule([3, 2, 1])
+
+    def test_phase_count(self, gs):
+        assert gs.num_phases == 9
+
+    def test_group_lookup(self, gs):
+        g = gs.group(0, 1)
+        assert (g.start, g.end) == (0, 6)
+        assert g.length == 6
+        assert 5 in g and 6 not in g
+        assert g.local(4) == 4
+
+    def test_destination_map(self, gs):
+        # t0 sends to t1 in phases 0-5, to t2 in phases 6-8.
+        assert [gs.destination_of(0, p) for p in range(9)] == [1] * 6 + [2] * 3
+        # t1 sends to t2 (0-1), idle (2), then to t0 (3-8)  -- Figure 3.
+        assert [gs.destination_of(1, p) for p in range(9)] == [2, 2, None, 0, 0, 0, 0, 0, 0]
+        # t2 sends to t0 (0-2), idle (3-6), to t1 (7-8).
+        assert [gs.destination_of(2, p) for p in range(9)] == [0, 0, 0, None, None, None, None, 1, 1]
+
+    def test_source_map(self, gs):
+        # groups into t0 tile all phases: t2 (0-2) then t1 (3-8).
+        assert [gs.source_of(0, p) for p in range(9)] == [2] * 3 + [1] * 6
+        assert gs.source_of(1, 6) is None  # t1 idle as receiver at phase 6
+        assert [gs.source_of(1, p) for p in range(9)] == [0] * 6 + [None, 2, 2]
+
+    def test_active_groups(self, gs):
+        active = {(g.i, g.j) for g in gs.active_groups(0)}
+        assert active == {(0, 1), (1, 2), (2, 0)}
+        active7 = {(g.i, g.j) for g in gs.active_groups(7)}
+        assert active7 == {(0, 2), (1, 0), (2, 1)}
+
+    def test_groups_sorted(self, gs):
+        starts = [g.start for g in gs.groups()]
+        assert starts == sorted(starts)
+
+    def test_render_mentions_sizes(self, gs):
+        text = gs.render()
+        assert "t0->t1" in text and "phases: 9" in text
+
+    def test_local_outside_range(self, gs):
+        with pytest.raises(SchedulingError):
+            gs.group(0, 1).local(7)
+
+    def test_unknown_group(self, gs):
+        with pytest.raises(SchedulingError):
+            gs.group(0, 0)
+
+    def test_phase_out_of_range(self, gs):
+        with pytest.raises(SchedulingError):
+            gs.destination_of(0, 9)
+        with pytest.raises(SchedulingError):
+            gs.source_of(0, -1)
+
+
+class TestLemma2Properties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 5), min_size=2, max_size=6).map(
+            lambda xs: tuple(sorted(xs, reverse=True))
+        )
+    )
+    def test_single_sender_receiver_group_per_phase(self, sizes):
+        gs = build_global_schedule(sizes)
+        k = len(sizes)
+        total_messages = 0
+        for p in range(gs.num_phases):
+            active = gs.active_groups(p)
+            total_messages += len(active)
+            # at most one group out of / into each subtree per phase
+            assert len({g.i for g in active}) == len(active)
+            assert len({g.j for g in active}) == len(active)
+        # every inter-subtree message appears in exactly one phase
+        expected = sum(
+            sizes[i] * sizes[j]
+            for i in range(k)
+            for j in range(k)
+            if i != j
+        )
+        assert total_messages == expected

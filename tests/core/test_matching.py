@@ -1,0 +1,82 @@
+"""Unit tests for the Hopcroft-Karp matcher."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import hopcroft_karp, matching_size
+
+
+class TestBasics:
+    def test_perfect_matching(self):
+        match = hopcroft_karp([[0, 1], [0], [2]], 3)
+        assert matching_size(match) == 3
+        assert match[1] == 0  # vertex 1's only choice
+
+    def test_no_edges(self):
+        assert hopcroft_karp([[], []], 2) == [None, None]
+
+    def test_empty_graph(self):
+        assert hopcroft_karp([], 0) == []
+
+    def test_competition_for_one_vertex(self):
+        match = hopcroft_karp([[0], [0], [0]], 1)
+        assert matching_size(match) == 1
+
+    def test_augmenting_path_needed(self):
+        # 0-{a}, 1-{a,b}: greedy could match 1 to a first; HK must fix it.
+        match = hopcroft_karp([[0], [0, 1]], 2)
+        assert matching_size(match) == 2
+        assert match[0] == 0 and match[1] == 1
+
+    def test_long_augmenting_chain(self):
+        adjacency = [[0], [0, 1], [1, 2], [2, 3]]
+        match = hopcroft_karp(adjacency, 4)
+        assert matching_size(match) == 4
+
+    def test_matching_is_consistent(self):
+        adjacency = [[0, 1, 2], [1], [1, 2]]
+        match = hopcroft_karp(adjacency, 3)
+        used = [v for v in match if v is not None]
+        assert len(used) == len(set(used))  # right vertices used once
+        for u, v in enumerate(match):
+            if v is not None:
+                assert v in adjacency[u]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_max_cardinality_matches_brute_force(self, data):
+        n_left = data.draw(st.integers(0, 6))
+        n_right = data.draw(st.integers(0, 6))
+        adjacency = [
+            sorted(
+                data.draw(
+                    st.sets(st.integers(0, max(0, n_right - 1)), max_size=n_right)
+                )
+            )
+            if n_right
+            else []
+            for _ in range(n_left)
+        ]
+        match = hopcroft_karp(adjacency, n_right)
+        assert matching_size(match) == _brute_force_max(adjacency, n_right)
+
+
+def _brute_force_max(adjacency, n_right):
+    best = 0
+
+    def recurse(u, used):
+        nonlocal best
+        if u == len(adjacency):
+            best = max(best, len(used))
+            return
+        # upper-bound prune
+        if len(used) + (len(adjacency) - u) <= best:
+            return
+        recurse(u + 1, used)
+        for v in adjacency[u]:
+            if v not in used:
+                recurse(u + 1, used | {v})
+
+    recurse(0, frozenset())
+    return best

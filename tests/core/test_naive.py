@@ -1,0 +1,57 @@
+"""Tests for the greedy phase-decomposition baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive import greedy_phases, random_order_phases
+from repro.core.scheduler import schedule_aapc
+from repro.core.verify import verify_complete, verify_contention_free
+from repro.errors import VerificationError
+from repro.topology.analysis import aapc_load
+from repro.topology.builder import random_tree, single_switch, topology_b
+
+
+class TestGreedyPhases:
+    def test_contention_free_and_complete(self, fig1):
+        schedule = greedy_phases(fig1)
+        verify_contention_free(schedule)
+        verify_complete(schedule)
+
+    def test_phase_count_at_least_optimal(self, fig1):
+        schedule = greedy_phases(fig1)
+        assert schedule.num_phases >= aapc_load(fig1)
+
+    def test_random_order_valid(self, fig1):
+        schedule = random_order_phases(fig1, seed=5)
+        verify_contention_free(schedule)
+        verify_complete(schedule)
+
+    def test_random_order_deterministic_per_seed(self, fig1):
+        a = random_order_phases(fig1, seed=5)
+        b = random_order_phases(fig1, seed=5)
+        assert [len(p) for p in a.phases()] == [len(p) for p in b.phases()]
+
+    def test_usually_worse_than_paper_scheduler(self):
+        """On the paper's topology (b), greedy random order wastes phases."""
+        topo = topology_b()
+        optimal = schedule_aapc(topo, verify=False).num_phases
+        greedy = random_order_phases(topo, seed=1).num_phases
+        assert greedy > optimal
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), nm=st.integers(3, 10), ns=st.integers(1, 4))
+    def test_never_better_than_optimal(self, seed, nm, ns):
+        """The paper's phase count is a true lower bound."""
+        topo = random_tree(nm, ns, seed=seed)
+        schedule = random_order_phases(topo, seed=seed)
+        verify_contention_free(schedule)
+        verify_complete(schedule)
+        assert schedule.num_phases >= aapc_load(topo)
+
+    def test_single_switch_greedy_can_match(self):
+        """On one switch the canonical order happens to pack optimally
+        or near-optimally; at minimum it's a valid decomposition."""
+        topo = single_switch(6)
+        schedule = greedy_phases(topo)
+        verify_contention_free(schedule)
+        assert schedule.num_phases >= 5

@@ -1,0 +1,54 @@
+"""Tests for message/pattern types."""
+
+import pytest
+
+from repro.core.pattern import (
+    Message,
+    aapc_message_set,
+    aapc_messages,
+    message_count,
+)
+from repro.errors import SchedulingError
+from repro.topology.builder import single_switch
+
+
+class TestMessage:
+    def test_self_message_rejected(self):
+        with pytest.raises(SchedulingError):
+            Message("n0", "n0")
+
+    def test_reversed(self):
+        assert Message("a", "b").reversed() == Message("b", "a")
+
+    def test_ordering_and_str(self):
+        assert Message("a", "b") < Message("a", "c") < Message("b", "a")
+        assert str(Message("n0", "n1")) == "n0->n1"
+
+    def test_hashable(self):
+        assert len({Message("a", "b"), Message("a", "b")}) == 1
+
+    def test_as_tuple(self):
+        assert Message("a", "b").as_tuple() == ("a", "b")
+
+
+class TestAapcPattern:
+    def test_count(self):
+        topo = single_switch(5)
+        msgs = aapc_messages(topo)
+        assert len(msgs) == 20 == message_count(topo)
+
+    def test_every_ordered_pair_once(self):
+        topo = single_switch(4)
+        msgs = aapc_messages(topo)
+        assert len(set(msgs)) == len(msgs)
+        for src in topo.machines:
+            for dst in topo.machines:
+                if src != dst:
+                    assert Message(src, dst) in aapc_message_set(topo)
+
+    def test_canonical_order(self):
+        topo = single_switch(3)
+        msgs = aapc_messages(topo)
+        assert msgs[0] == Message("n0", "n1")
+        assert msgs[1] == Message("n0", "n2")
+        assert msgs[2] == Message("n1", "n0")

@@ -1,0 +1,94 @@
+"""Tests for the broadcast and rotate patterns (Lemmas 5-6, Table 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patterns import (
+    broadcast_pattern,
+    pattern_covers_all_pairs,
+    receivers_once_per_window,
+    rotate_pattern,
+    senders_once_per_window,
+)
+from repro.errors import SchedulingError
+
+
+class TestRotateTable2:
+    """The paper's Table 2: |Mi| = 6, |Mj| = 4 (a=3, b=2, D=2)."""
+
+    def test_exact_table(self):
+        pattern = rotate_pattern(6, 4)
+        expected = [
+            # phases 0-11: base sequence repeated twice, receivers cycle
+            (0, 0), (1, 1), (2, 2), (3, 3), (4, 0), (5, 1),
+            (0, 2), (1, 3), (2, 0), (3, 1), (4, 2), (5, 3),
+            # phases 12-23: rotated base sequence, repeated twice
+            (1, 0), (2, 1), (3, 2), (4, 3), (5, 0), (0, 1),
+            (1, 2), (2, 3), (3, 0), (4, 1), (5, 2), (0, 3),
+        ]
+        assert pattern == expected
+
+    def test_covers_all_pairs(self):
+        assert pattern_covers_all_pairs(rotate_pattern(6, 4), 6, 4)
+
+    def test_lemma6_windows(self):
+        pattern = rotate_pattern(6, 4)
+        assert senders_once_per_window(pattern, 6)
+        assert receivers_once_per_window(pattern, 4)
+
+
+class TestBroadcast:
+    def test_lemma5_consecutive_sender_blocks(self):
+        pattern = broadcast_pattern(3, 4)
+        senders = [s for s, _ in pattern]
+        assert senders == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_receivers_sweep_per_block(self):
+        pattern = broadcast_pattern(2, 3)
+        assert pattern == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_receiver_offset(self):
+        pattern = broadcast_pattern(1, 3, receiver_offset=2)
+        assert [r for _, r in pattern] == [2, 0, 1]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(SchedulingError):
+            broadcast_pattern(0, 3)
+        with pytest.raises(SchedulingError):
+            rotate_pattern(3, -1)
+
+
+SIZES = st.integers(1, 9)
+
+
+class TestCoverageProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(mi=SIZES, mj=SIZES, offset=st.integers(0, 8))
+    def test_broadcast_covers_all_pairs_any_offset(self, mi, mj, offset):
+        pattern = broadcast_pattern(mi, mj, receiver_offset=offset)
+        assert pattern_covers_all_pairs(pattern, mi, mj)
+
+    @settings(max_examples=80, deadline=None)
+    @given(mi=SIZES, mj=SIZES, offset=st.integers(0, 8))
+    def test_rotate_covers_all_pairs_any_offset(self, mi, mj, offset):
+        """DESIGN.md's claim: rotate coverage holds for any receiver shift."""
+        pattern = rotate_pattern(mi, mj, receiver_offset=offset)
+        assert pattern_covers_all_pairs(pattern, mi, mj)
+
+    @settings(max_examples=80, deadline=None)
+    @given(mi=SIZES, mj=SIZES, offset=st.integers(0, 8))
+    def test_rotate_lemma6_windows(self, mi, mj, offset):
+        pattern = rotate_pattern(mi, mj, receiver_offset=offset)
+        assert senders_once_per_window(pattern, mi)
+        assert receivers_once_per_window(pattern, mj)
+
+    @settings(max_examples=40, deadline=None)
+    @given(mi=SIZES, mj=SIZES)
+    def test_broadcast_sender_blocks(self, mi, mj):
+        pattern = broadcast_pattern(mi, mj)
+        for q, (s, _) in enumerate(pattern):
+            assert s == q // mj
+
+    def test_helpers_reject_wrong_lengths(self):
+        assert not pattern_covers_all_pairs([(0, 0)], 2, 2)
+        assert not pattern_covers_all_pairs([(0, 0)] * 4, 2, 2)

@@ -1,0 +1,179 @@
+"""Tests for the per-rank op IR and program lowering."""
+
+import pytest
+
+from repro.core.program import (
+    Op,
+    OpKind,
+    Program,
+    SYNC_TAG_BASE,
+    build_programs,
+    validate_programs,
+)
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import build_sync_plan
+from repro.errors import ProgramError
+from repro.topology.builder import single_switch
+
+
+@pytest.fixture
+def fig1_programs(fig1):
+    schedule = schedule_aapc(fig1, root="s1")
+    plan = build_sync_plan(schedule)
+    return schedule, plan, build_programs(schedule, plan)
+
+
+class TestOp:
+    def test_data_ops_need_peer(self):
+        with pytest.raises(ProgramError):
+            Op(OpKind.ISEND)
+        with pytest.raises(ProgramError):
+            Op(OpKind.SYNC_RECV)
+
+    def test_waitall_needs_no_peer(self):
+        op = Op(OpKind.WAITALL)
+        assert not op.is_send and not op.is_recv
+
+    def test_send_recv_flags(self):
+        assert Op(OpKind.ISEND, peer="x").is_send
+        assert Op(OpKind.SYNC_SEND, peer="x").is_send
+        assert Op(OpKind.IRECV, peer="x").is_recv
+        assert Op(OpKind.RECV, peer="x").is_recv
+
+    def test_str(self):
+        assert str(Op(OpKind.WAITALL)) == "waitall"
+        assert "isend(x" in str(Op(OpKind.ISEND, peer="x", tag=3))
+
+
+class TestProgramContainer:
+    def test_counts_and_blocks(self):
+        prog = Program("n0")
+        prog.append(Op(OpKind.ISEND, peer="n1", blocks=(("n0", "n1"),)))
+        prog.append(Op(OpKind.WAITALL))
+        assert prog.count(OpKind.ISEND) == 1
+        assert prog.sent_blocks() == [("n0", "n1")]
+        assert len(prog) == 2
+        assert list(iter(prog)) == prog.ops
+
+
+class TestValidatePrograms:
+    def test_detects_missing_receive(self):
+        programs = {
+            "a": Program("a", [Op(OpKind.ISEND, peer="b", tag=0)]),
+            "b": Program("b", []),
+        }
+        with pytest.raises(ProgramError, match="unmatched"):
+            validate_programs(programs)
+
+    def test_detects_wrong_key(self):
+        programs = {"a": Program("b", [])}
+        with pytest.raises(ProgramError, match="claims rank"):
+            validate_programs(programs)
+
+    def test_sync_and_data_namespaces_distinct(self):
+        # a data send must not match a sync recv even with equal tags
+        programs = {
+            "a": Program("a", [Op(OpKind.ISEND, peer="b", tag=7)]),
+            "b": Program("b", [Op(OpKind.SYNC_RECV, peer="a", tag=7)]),
+        }
+        with pytest.raises(ProgramError, match="unmatched"):
+            validate_programs(programs)
+
+
+class TestBuildPrograms:
+    def test_one_program_per_machine(self, fig1, fig1_programs):
+        _, _, programs = fig1_programs
+        assert set(programs) == set(fig1.machines)
+
+    def test_data_op_totals(self, fig1_programs):
+        schedule, _, programs = fig1_programs
+        total_sends = sum(p.count(OpKind.ISEND) for p in programs.values())
+        total_recvs = sum(p.count(OpKind.IRECV) for p in programs.values())
+        assert total_sends == len(schedule) == 30
+        assert total_recvs == len(schedule) == 30
+
+    def test_sync_op_totals(self, fig1_programs):
+        _, plan, programs = fig1_programs
+        sync_sends = sum(p.count(OpKind.SYNC_SEND) for p in programs.values())
+        sync_recvs = sum(p.count(OpKind.SYNC_RECV) for p in programs.values())
+        assert sync_sends == len(plan.syncs)
+        assert sync_recvs == len(plan.syncs)
+
+    def test_phase_monotone_per_rank(self, fig1_programs):
+        _, _, programs = fig1_programs
+        for prog in programs.values():
+            phases = [op.phase for op in prog.ops if op.phase >= 0]
+            assert phases == sorted(phases)
+
+    def test_sync_recv_precedes_gated_send(self, fig1_programs):
+        """Within a phase block: sync receives come before the isend."""
+        _, plan, programs = fig1_programs
+        for s in plan.syncs:
+            prog = programs[s.before.src]
+            phase_ops = [op for op in prog.ops if op.phase == s.before.phase]
+            kinds = [op.kind for op in phase_ops]
+            assert OpKind.SYNC_RECV in kinds
+            assert kinds.index(OpKind.SYNC_RECV) < kinds.index(OpKind.ISEND)
+
+    def test_sync_send_follows_waitall(self, fig1_programs):
+        _, plan, programs = fig1_programs
+        for s in plan.syncs:
+            prog = programs[s.after.src]
+            phase_ops = [op for op in prog.ops if op.phase == s.after.phase]
+            kinds = [op.kind for op in phase_ops]
+            assert kinds.index(OpKind.WAITALL) < kinds.index(OpKind.SYNC_SEND)
+
+    def test_sync_tags_unique_and_namespaced(self, fig1_programs):
+        _, _, programs = fig1_programs
+        tags = [
+            op.tag
+            for prog in programs.values()
+            for op in prog.ops
+            if op.kind == OpKind.SYNC_SEND
+        ]
+        assert len(tags) == len(set(tags))
+        assert all(t >= SYNC_TAG_BASE for t in tags)
+
+    def test_blocks_carry_aapc_payload(self, fig1_programs):
+        _, _, programs = fig1_programs
+        for rank, prog in programs.items():
+            for op in prog.ops:
+                if op.kind == OpKind.ISEND:
+                    assert op.blocks == ((rank, op.peer),)
+
+    def test_barrier_mode(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        programs = build_programs(schedule, None, sync_mode="barrier")
+        for prog in programs.values():
+            # one barrier per phase for every rank, even idle ones
+            assert prog.count(OpKind.BARRIER) == schedule.num_phases
+            assert prog.count(OpKind.SYNC_SEND) == 0
+
+    def test_none_mode(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        programs = build_programs(schedule, None, sync_mode="none")
+        for prog in programs.values():
+            assert prog.count(OpKind.SYNC_SEND) == 0
+            assert prog.count(OpKind.BARRIER) == 0
+
+    def test_pairwise_requires_plan(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        with pytest.raises(ProgramError, match="requires a sync plan"):
+            build_programs(schedule, None, sync_mode="pairwise")
+
+    def test_unknown_mode(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        with pytest.raises(ProgramError, match="sync_mode"):
+            build_programs(schedule, None, sync_mode="bogus")
+
+    def test_idle_ranks_skip_phase(self):
+        """A rank with no message in a phase gets no ops there (pairwise)."""
+        topo = single_switch(4)
+        schedule = schedule_aapc(topo)
+        plan = build_sync_plan(schedule)
+        programs = build_programs(schedule, plan)
+        validate_programs(programs)
+        # single-switch ring: every rank active every phase, so instead
+        # check totals: ops = per phase (irecv+isend+waitall) + syncs
+        for rank, prog in programs.items():
+            assert prog.count(OpKind.WAITALL) == schedule.num_phases

@@ -1,0 +1,110 @@
+"""Tests for static program analysis and schedule JSON round-tripping."""
+
+import pytest
+
+from repro.algorithms import GeneratedAlltoall, LamAlltoall
+from repro.core.program_analysis import analyze_programs
+from repro.core.schedule import MessageKind
+from repro.core.schedule_io import (
+    dumps_schedule,
+    load_schedule,
+    loads_schedule,
+    save_schedule,
+    schedule_to_dict,
+    schedule_from_dict,
+)
+from repro.core.scheduler import schedule_aapc
+from repro.core.verify import verify_schedule
+from repro.errors import ReproError
+from repro.topology.builder import single_switch, topology_c
+from repro.units import kib
+
+
+class TestContentionReport:
+    def test_generated_is_statically_contention_free(self, fig1):
+        programs = GeneratedAlltoall(root="s1").build_programs(fig1, kib(64))
+        report = analyze_programs(fig1, programs, kib(64))
+        assert report.max_phase_edge_concurrency == 1
+        assert report.hotspots == []
+        assert report.num_phases == 9
+
+    def test_lam_hotspots_detected(self, fig1):
+        programs = LamAlltoall().build_programs(fig1, kib(64))
+        report = analyze_programs(fig1, programs, kib(64))
+        # LAM posts everything in a single phase: the trunk carries 9
+        assert report.max_phase_edge_concurrency == 9
+        hot_edges = {edge for _p, edge, _c in report.hotspots}
+        assert ("s0", "s1") in hot_edges or ("s1", "s0") in hot_edges
+
+    def test_byte_accounting(self):
+        topo = single_switch(4)
+        programs = LamAlltoall().build_programs(topo, kib(8))
+        report = analyze_programs(topo, programs, kib(8))
+        assert report.total_bytes == 12 * kib(8)
+        # each machine uplink carries 3 messages
+        assert report.edge_bytes[("n0", "s0")] == 3 * kib(8)
+
+    def test_busiest_edges_sorted(self, fig1):
+        programs = LamAlltoall().build_programs(fig1, kib(8))
+        report = analyze_programs(fig1, programs, kib(8))
+        ranked = report.busiest_edges(top=3)
+        values = [v for _e, v in ranked]
+        assert values == sorted(values, reverse=True)
+        # the bottleneck trunk carries the most bytes: 9 messages
+        assert ranked[0][1] == 9 * kib(8)
+
+    def test_render(self, fig1):
+        programs = LamAlltoall().build_programs(fig1, kib(8))
+        text = analyze_programs(fig1, programs, kib(8)).render()
+        assert "busiest links" in text
+        assert "hotspots" in text
+
+
+class TestScheduleIO:
+    def test_round_trip_preserves_everything(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        loaded = loads_schedule(dumps_schedule(schedule))
+        verify_schedule(loaded)
+        assert loaded.num_phases == schedule.num_phases
+        assert loaded.topology == schedule.topology
+        assert loaded.root_info.root == "s1"
+        assert loaded.root_info.sizes == (3, 2, 1)
+        for p in range(schedule.num_phases):
+            assert {str(m.message) for m in loaded.phase(p)} == {
+                str(m.message) for m in schedule.phase(p)
+            }
+
+    def test_kinds_and_groups_preserved(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        loaded = loads_schedule(dumps_schedule(schedule))
+        for sm in schedule.all_messages():
+            twin = loaded.lookup(sm.message)
+            assert twin.kind == sm.kind
+            assert twin.group == sm.group
+
+    def test_file_round_trip(self, tmp_path):
+        topo = topology_c()
+        schedule = schedule_aapc(topo, verify=False)
+        path = str(tmp_path / "schedule.json")
+        save_schedule(schedule, path)
+        loaded = load_schedule(path)
+        assert loaded.num_phases == 256
+        verify_schedule(loaded)
+
+    def test_trivial_schedule_round_trips(self):
+        topo = single_switch(1)
+        schedule = schedule_aapc(topo)
+        loaded = loads_schedule(dumps_schedule(schedule))
+        assert loaded.num_phases == 0
+
+    def test_schema_guard(self, fig1):
+        data = schedule_to_dict(schedule_aapc(fig1, root="s1"))
+        data["schema"] = 42
+        with pytest.raises(ReproError, match="schema"):
+            schedule_from_dict(data)
+
+    def test_corrupt_json(self):
+        import io
+
+        with pytest.raises(ReproError, match="corrupt"):
+            load_schedule(io.StringIO("nope"))

@@ -1,0 +1,155 @@
+"""Tests for ring scheduling (Table 1) and the extended ring formulas."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ring import (
+    group_interval,
+    group_start,
+    ring_phase,
+    ring_schedule,
+    total_phases,
+)
+from repro.errors import SchedulingError
+
+
+class TestRingSchedule:
+    def test_table1_structure(self):
+        """Paper Table 1: phase p has t_i -> t_{(i+p+1) mod k}."""
+        k = 5
+        phases = ring_schedule(k)
+        assert len(phases) == k - 1
+        # phase 0: t0->t1, t1->t2, ..., t_{k-1}->t0
+        assert phases[0] == [(i, (i + 1) % k) for i in range(k)]
+        # last phase: t0->t_{k-1}, t1->t0, ...
+        assert phases[k - 2][0] == (0, k - 1)
+        assert phases[k - 2][1] == (1, 0)
+
+    def test_every_pair_exactly_once(self):
+        k = 7
+        seen = [pair for phase in ring_schedule(k) for pair in phase]
+        assert len(seen) == k * (k - 1)
+        assert len(set(seen)) == k * (k - 1)
+
+    def test_one_send_one_recv_per_phase(self):
+        for phase in ring_schedule(6):
+            senders = [i for i, _ in phase]
+            receivers = [j for _, j in phase]
+            assert len(set(senders)) == 6
+            assert len(set(receivers)) == 6
+
+    def test_ring_phase_formula(self):
+        # j > i: phase j - i - 1;  i > j: phase (k-1) - (i-j)
+        k = 6
+        assert ring_phase(0, 1, k) == 0
+        assert ring_phase(0, 5, k) == 4
+        assert ring_phase(5, 0, k) == 0
+        assert ring_phase(3, 1, k) == 3
+        for phase_index, phase in enumerate(ring_schedule(k)):
+            for i, j in phase:
+                assert ring_phase(i, j, k) == phase_index
+
+    def test_errors(self):
+        with pytest.raises(SchedulingError):
+            ring_schedule(1)
+        with pytest.raises(SchedulingError):
+            ring_phase(1, 1, 4)
+        with pytest.raises(SchedulingError):
+            ring_phase(0, 4, 4)
+
+
+class TestExtendedRing:
+    def test_total_phases(self):
+        assert total_phases([3, 2, 1]) == 3 * 3
+        assert total_phases([8, 8, 8, 8]) == 8 * 24
+        assert total_phases([1, 1, 1]) == 2
+
+    def test_fig3_intervals(self):
+        """The paper's Figure 3: sizes (3, 2, 1)."""
+        sizes = [3, 2, 1]
+        assert group_interval(0, 1, sizes) == (0, 6)
+        assert group_interval(0, 2, sizes) == (6, 9)
+        assert group_interval(1, 2, sizes) == (0, 2)
+        assert group_interval(1, 0, sizes) == (3, 9)
+        assert group_interval(2, 0, sizes) == (0, 3)
+        assert group_interval(2, 1, sizes) == (7, 9)
+
+    def test_reduces_to_ring_for_unit_sizes(self):
+        """With all |Mi| = 1 the extended ring is Table 1's ring."""
+        k = 6
+        sizes = [1] * k
+        for phase_index, phase in enumerate(ring_schedule(k)):
+            for i, j in phase:
+                assert group_start(i, j, sizes) == phase_index
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            total_phases([3])
+        with pytest.raises(SchedulingError):
+            total_phases([1, 2])  # not non-increasing
+        with pytest.raises(SchedulingError):
+            total_phases([2, 0])
+        with pytest.raises(SchedulingError):
+            group_start(0, 0, [2, 1])
+        with pytest.raises(SchedulingError):
+            group_start(0, 2, [2, 1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=2, max_size=6).map(
+            lambda xs: sorted(xs, reverse=True)
+        )
+    )
+    def test_intervals_in_range_with_exact_lengths(self, sizes):
+        t = total_phases(sizes)
+        k = len(sizes)
+        for i in range(k):
+            for j in range(k):
+                if i == j:
+                    continue
+                start, end = group_interval(i, j, sizes)
+                assert 0 <= start < end <= t
+                assert end - start == sizes[i] * sizes[j]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=2, max_size=6).map(
+            lambda xs: sorted(xs, reverse=True)
+        )
+    )
+    def test_sender_groups_tile_without_overlap(self, sizes):
+        """Each subtree's outgoing groups never overlap (Lemma 2 sender side)."""
+        k = len(sizes)
+        for i in range(k):
+            intervals = sorted(
+                group_interval(i, j, sizes) for j in range(k) if j != i
+            )
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=2, max_size=6).map(
+            lambda xs: sorted(xs, reverse=True)
+        )
+    )
+    def test_receiver_groups_tile_without_overlap(self, sizes):
+        """Groups into each subtree never overlap (Lemma 2 receiver side)."""
+        k = len(sizes)
+        for j in range(k):
+            intervals = sorted(
+                group_interval(i, j, sizes) for i in range(k) if i != j
+            )
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    def test_t0_groups_tile_completely(self):
+        """t0 sends in every phase: its groups exactly tile [0, T)."""
+        sizes = [4, 3, 3, 2]
+        t = total_phases(sizes)
+        covered = sorted(
+            p
+            for j in range(1, len(sizes))
+            for p in range(*group_interval(0, j, sizes))
+        )
+        assert covered == list(range(t))

@@ -1,0 +1,137 @@
+"""Tests for root identification (Section 4.1, Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.root import identify_root
+from repro.errors import SchedulingError
+from repro.topology.analysis import aapc_load
+from repro.topology.builder import (
+    chain_of_switches,
+    paper_example_cluster,
+    random_tree,
+    single_switch,
+    star_of_switches,
+    topology_a,
+    topology_b,
+    topology_c,
+    tree_from_spec,
+)
+
+
+class TestKnownTopologies:
+    def test_single_switch(self):
+        info = identify_root(single_switch(5))
+        assert info.root == "s0"
+        assert info.sizes == (1, 1, 1, 1, 1)
+        assert info.total_phases == 4 == aapc_load(single_switch(5))
+
+    def test_fig1_forced_paper_root(self, fig1):
+        info = identify_root(fig1, root="s1")
+        assert info.root == "s1"
+        assert info.sizes == (3, 2, 1)
+        assert info.subtrees[0].machines == ("n0", "n1", "n2")
+        assert info.subtrees[1].machines == ("n3", "n4")
+        assert info.subtrees[2].machines == ("n5",)
+        assert info.total_phases == 9
+
+    def test_fig1_auto_root_is_valid(self, fig1):
+        """Roots are not unique; the auto-found one must still be optimal."""
+        info = identify_root(fig1)
+        assert info.total_phases == aapc_load(fig1)
+        assert max(info.sizes) <= fig1.num_machines / 2
+
+    def test_topology_b(self, topo_b):
+        info = identify_root(topo_b)
+        assert info.root == "s0"
+        assert info.sizes[0] == 8
+        assert info.total_phases == 192
+
+    def test_topology_c_middle_switch(self, topo_c):
+        info = identify_root(topo_c)
+        assert info.root in ("s1", "s2")
+        assert info.sizes[0] == 16
+        assert info.total_phases == 256
+
+    def test_walk_through_switch_chain(self):
+        """Chain with all machines at the ends: the walk crosses empty switches."""
+        topo = chain_of_switches([3, 0, 0, 3])
+        info = identify_root(topo)
+        assert info.total_phases == 3 * 3 == aapc_load(topo)
+
+    def test_machine_only_branch(self):
+        """A two-machine star off a deep chain exercises the iterative walk."""
+        topo = tree_from_spec(
+            ("s0", [("s1", [("s2", ["n0", "n1", "n2"])]), "n3"])
+        )
+        info = identify_root(topo)
+        assert info.total_phases == aapc_load(topo)
+        assert max(info.sizes) <= topo.num_machines / 2
+
+
+class TestForcedRoot:
+    def test_invalid_switch_rejected(self, fig1):
+        with pytest.raises(SchedulingError, match="not a switch"):
+            identify_root(fig1, root="n0")
+        with pytest.raises(SchedulingError, match="not a switch"):
+            identify_root(fig1, root="ghost")
+
+    def test_suboptimal_root_rejected(self, fig1):
+        # s3's largest subtree has 4 machines > |M|/2 = 3.
+        with pytest.raises(SchedulingError):
+            identify_root(fig1, root="s3")
+
+    def test_s0_also_valid_for_fig1(self, fig1):
+        info = identify_root(fig1, root="s0")
+        assert info.sizes == (3, 2, 1)
+        assert info.total_phases == 9
+
+
+class TestRootInfoQueries:
+    def test_locate_and_subtree_of(self, fig1):
+        info = identify_root(fig1, root="s1")
+        assert info.locate("n0") == (0, 0)
+        assert info.locate("n4") == (1, 1)
+        assert info.locate("n5") == (2, 0)
+        assert info.subtree_of("n2") == 0
+        with pytest.raises(SchedulingError):
+            info.locate("s0")
+
+    def test_k_and_machine_count(self, fig1):
+        info = identify_root(fig1, root="s1")
+        assert info.k == 3
+        assert info.num_machines == 6
+        assert info.subtrees[0].machine(2) == "n2"
+        assert info.subtrees[0].index_of("n1") == 1
+
+
+class TestSmallClusters:
+    def test_two_machines_rejected(self):
+        topo = tree_from_spec(("s0", ["n0", "n1"]))
+        with pytest.raises(SchedulingError, match="at least 3"):
+            identify_root(topo)
+
+
+class TestLemma1Property:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        nm=st.integers(3, 24),
+        ns=st.integers(1, 8),
+    )
+    def test_lemma1_and_optimality_on_random_trees(self, seed, nm, ns):
+        topo = random_tree(nm, ns, seed=seed)
+        info = identify_root(topo)
+        # Lemma 1: every subtree holds at most |M|/2 machines.
+        assert max(info.sizes) <= nm / 2
+        # Subtree sizes are non-increasing and partition the machines.
+        assert list(info.sizes) == sorted(info.sizes, reverse=True)
+        assert sum(info.sizes) == nm
+        # The decomposition attains the bottleneck load.
+        assert info.total_phases == aapc_load(topo)
+        # The root is a switch with at least two machine-bearing subtrees.
+        assert topo.is_switch(info.root)
+        assert info.k >= 2
+        # Subtrees are disjoint.
+        all_machines = [m for t in info.subtrees for m in t.machines]
+        assert len(all_machines) == len(set(all_machines))

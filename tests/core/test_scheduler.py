@@ -1,0 +1,149 @@
+"""End-to-end tests for the scheduling pipeline, incl. the paper's Theorem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pattern import Message
+from repro.core.schedule import MessageKind
+from repro.core.scheduler import schedule_aapc
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError
+from repro.topology.analysis import aapc_load
+from repro.topology.builder import (
+    chain_of_switches,
+    random_tree,
+    single_switch,
+    star_of_switches,
+    topology_a,
+    topology_b,
+    topology_c,
+    tree_from_spec,
+)
+
+
+class TestTrivialClusters:
+    def test_one_machine(self):
+        schedule = schedule_aapc(single_switch(1))
+        assert schedule.num_phases == 0
+        assert len(schedule) == 0
+
+    def test_two_machines(self):
+        schedule = schedule_aapc(tree_from_spec(("s0", ["n0", "n1"])))
+        assert schedule.num_phases == 1
+        assert len(schedule) == 2
+        verify_schedule(schedule)
+
+
+class TestPaperTopologies:
+    @pytest.mark.parametrize(
+        "factory,phases",
+        [
+            (topology_a, 23),
+            (topology_b, 192),
+            (topology_c, 256),
+        ],
+    )
+    def test_phase_counts(self, factory, phases):
+        topo = factory()
+        schedule = schedule_aapc(topo)
+        assert schedule.num_phases == phases == aapc_load(topo)
+
+    def test_verified_by_default(self, fig1):
+        schedule = schedule_aapc(fig1)
+        # verify=True already ran; re-verify explicitly to be sure.
+        verify_schedule(schedule)
+
+    def test_forced_root(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        assert schedule.root_info.root == "s1"
+        verify_schedule(schedule)
+
+    def test_single_switch_matches_ring_length(self):
+        topo = single_switch(7)
+        schedule = schedule_aapc(topo)
+        assert schedule.num_phases == 6
+        # with unit subtrees, every phase moves |M| messages except none idle
+        for phase in schedule.phases():
+            assert len(phase) == 7
+
+
+class TestLocalEmbeddings:
+    def test_matching_mode_verifies(self, small_star):
+        schedule = schedule_aapc(small_star, local_embedding="matching")
+        verify_schedule(schedule)
+
+    def test_matching_and_constructive_same_phase_count(self, small_chain):
+        a = schedule_aapc(small_chain, local_embedding="constructive")
+        b = schedule_aapc(small_chain, local_embedding="matching")
+        assert a.num_phases == b.num_phases
+        assert len(a) == len(b)
+
+    def test_unknown_embedding(self, small_star):
+        with pytest.raises(SchedulingError, match="local_embedding"):
+            schedule_aapc(small_star, local_embedding="magic")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), nm=st.integers(3, 12), ns=st.integers(1, 5))
+    def test_matching_mode_property(self, seed, nm, ns):
+        topo = random_tree(nm, ns, seed=seed)
+        schedule = schedule_aapc(topo, local_embedding="matching", verify=False)
+        verify_schedule(schedule)
+
+
+class TestTheoremProperty:
+    """The paper's Theorem, property-tested over random trees."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 1_000_000),
+        nm=st.integers(3, 20),
+        ns=st.integers(1, 8),
+    )
+    def test_random_trees(self, seed, nm, ns):
+        topo = random_tree(nm, ns, seed=seed)
+        # verify=False so the explicit verify below is the only check;
+        # verify_schedule raises on any violation of the Theorem.
+        schedule = schedule_aapc(topo, verify=False)
+        verify_schedule(schedule)
+        assert schedule.num_phases == aapc_load(topo)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ("s0", ["n0", "n1", "n2"]),
+            ("s0", [("s1", ["n0", "n1"]), ("s2", ["n2", "n3"])]),
+            ("s0", [("s1", ["n0"]), ("s2", ["n1"]), "n2", "n3"]),
+            ("s0", [("s1", [("s2", ["n0", "n1", "n2"])]), "n3", "n4", "n5"]),
+            ("s0", [("s1", ["n0", "n1", "n2", "n3"]), ("s2", ["n4", "n5", "n6", "n7"])]),
+        ],
+    )
+    def test_handcrafted_shapes(self, spec):
+        topo = tree_from_spec(spec)
+        schedule = schedule_aapc(topo, verify=False)
+        verify_schedule(schedule)
+
+    @pytest.mark.parametrize("counts", [[4, 4], [5, 4, 1], [2, 2, 2, 2], [6, 3, 3]])
+    def test_stars_and_chains(self, counts):
+        for builder in (star_of_switches, chain_of_switches):
+            topo = builder(counts)
+            schedule = schedule_aapc(topo, verify=False)
+            verify_schedule(schedule)
+
+
+class TestEqualSubtreesEdgeCase:
+    def test_two_equal_subtrees(self):
+        """k = 2 with |M0| = |M1| (the tightest Lemma 1 case)."""
+        topo = tree_from_spec(
+            ("s0", [("s1", ["n0", "n1", "n2"]), ("s2", ["n3", "n4", "n5"])])
+        )
+        schedule = schedule_aapc(topo, verify=False)
+        verify_schedule(schedule)
+        assert schedule.num_phases == 9
+
+    def test_deep_single_branch(self):
+        """Machines behind a long chain of switches."""
+        topo = tree_from_spec(
+            ("s0", [("s1", [("s2", [("s3", ["n0", "n1"])])]), "n2", "n3"])
+        )
+        schedule = schedule_aapc(topo, verify=False)
+        verify_schedule(schedule)

@@ -1,0 +1,121 @@
+"""Tests for pair-wise synchronization planning (Section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import (
+    SyncMessage,
+    build_sync_plan,
+    verify_sync_plan,
+)
+from repro.errors import SchedulingError
+from repro.topology.builder import random_tree, single_switch
+
+
+@pytest.fixture
+def fig1_plan(fig1):
+    return build_sync_plan(schedule_aapc(fig1, root="s1"))
+
+
+class TestPlanStructure:
+    def test_sync_endpoints_are_the_senders(self, fig1_plan):
+        """Paper: the sync goes from node a (sender of the earlier message)
+        to node c (sender of the later message)."""
+        for s in fig1_plan.syncs:
+            assert s.src == s.after.src
+            assert s.dst == s.before.src
+
+    def test_syncs_point_forward_in_time(self, fig1_plan):
+        for s in fig1_plan.syncs:
+            assert s.after.phase < s.before.phase
+
+    def test_no_self_syncs(self, fig1_plan):
+        """Program order already covers same-sender dependences."""
+        for s in fig1_plan.syncs:
+            assert s.src != s.dst
+
+    def test_stats_consistent(self, fig1_plan):
+        stats = fig1_plan.stats
+        assert stats.num_messages == 30
+        assert stats.num_after_reduction == len(fig1_plan.syncs)
+        assert stats.num_after_reduction <= stats.num_before_reduction
+        assert (
+            stats.num_before_reduction + stats.num_program_order_free
+            == stats.num_conflict_deps
+        )
+
+    def test_queries(self, fig1_plan):
+        some = fig1_plan.syncs[0]
+        assert some in fig1_plan.syncs_after(some.after)
+        assert some in fig1_plan.syncs_into(some.before)
+
+    def test_deterministic(self, fig1):
+        s = schedule_aapc(fig1, root="s1")
+        a = build_sync_plan(s)
+        b = build_sync_plan(s)
+        assert [(str(x.after.message), str(x.before.message)) for x in a.syncs] == [
+            (str(x.after.message), str(x.before.message)) for x in b.syncs
+        ]
+
+
+class TestReduction:
+    def test_reduction_helps(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        reduced = build_sync_plan(schedule, remove_redundant=True)
+        naive = build_sync_plan(schedule, remove_redundant=False)
+        assert len(reduced.syncs) < len(naive.syncs)
+
+    def test_reduced_plan_still_covers_all_conflicts(self, fig1):
+        plan = build_sync_plan(schedule_aapc(fig1, root="s1"))
+        verify_sync_plan(plan)  # raises if any conflicting pair unordered
+
+    def test_naive_plan_covers_too(self, fig1):
+        plan = build_sync_plan(
+            schedule_aapc(fig1, root="s1"), remove_redundant=False
+        )
+        verify_sync_plan(plan)
+
+    def test_without_program_order_elision(self, fig1):
+        schedule = schedule_aapc(fig1, root="s1")
+        plan = build_sync_plan(schedule, elide_program_order=False)
+        verify_sync_plan(plan)
+        # eliding can only reduce the number of explicit syncs
+        elided = build_sync_plan(schedule, elide_program_order=True)
+        assert len(elided.syncs) <= len(plan.syncs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), nm=st.integers(3, 9), ns=st.integers(1, 4))
+    def test_reduced_plans_cover_random_trees(self, seed, nm, ns):
+        topo = random_tree(nm, ns, seed=seed)
+        plan = build_sync_plan(schedule_aapc(topo, verify=False))
+        verify_sync_plan(plan)
+
+    def test_single_switch_ring_needs_no_chained_syncs(self):
+        """On one switch, consecutive phases conflict only at endpoints."""
+        topo = single_switch(5)
+        plan = build_sync_plan(schedule_aapc(topo))
+        verify_sync_plan(plan)
+        # every dependency is between consecutive phases here
+        for s in plan.syncs:
+            assert s.before.phase - s.after.phase == 1
+
+
+class TestVerifyCatchesGaps:
+    def test_dropping_a_sync_is_detected(self, fig1):
+        plan = build_sync_plan(schedule_aapc(fig1, root="s1"))
+        plan.syncs.pop()  # corrupt the plan
+        with pytest.raises(SchedulingError, match="unordered"):
+            verify_sync_plan(plan)
+
+    def test_empty_plan_on_conflicting_schedule_fails(self, fig1):
+        plan = build_sync_plan(schedule_aapc(fig1, root="s1"))
+        plan.syncs = []
+        with pytest.raises(SchedulingError, match="unordered"):
+            verify_sync_plan(plan)
+
+
+class TestSyncMessageRepr:
+    def test_str(self, fig1_plan):
+        text = str(fig1_plan.syncs[0])
+        assert "sync[" in text and "=>" in text

@@ -1,0 +1,66 @@
+"""Tests for the random-topology campaign runner."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.campaign import CampaignRow, CampaignSummary, run_campaign
+from repro.sim.params import NetworkParams
+from repro.units import kib
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return run_campaign(
+        num_topologies=3,
+        msize=kib(128),
+        machines_range=(6, 10),
+        switches_range=(1, 3),
+        repetitions=1,
+        base_seed=42,
+        params=NetworkParams().without_noise(),
+    )
+
+
+class TestCampaign:
+    def test_row_structure(self, summary):
+        assert len(summary.rows) == 3
+        for row in summary.rows:
+            assert set(row.times) == {"lam", "mpich", "generated"}
+            assert 6 <= row.num_machines <= 10
+            assert row.phases > 0
+            assert row.load > 0
+
+    def test_winner_and_speedup(self, summary):
+        row = summary.rows[0]
+        assert row.winner == min(row.times, key=row.times.get)
+        assert row.speedup_over("lam") == pytest.approx(
+            row.times["lam"] / row.times["generated"]
+        )
+
+    def test_win_rate_bounds(self, summary):
+        assert 0.0 <= summary.win_rate() <= 1.0
+
+    def test_deterministic(self):
+        kwargs = dict(
+            num_topologies=2,
+            msize=kib(64),
+            repetitions=1,
+            base_seed=7,
+            params=NetworkParams().without_noise(),
+        )
+        a = run_campaign(**kwargs)
+        b = run_campaign(**kwargs)
+        assert [r.times for r in a.rows] == [r.times for r in b.rows]
+
+    def test_render(self, summary):
+        text = summary.render()
+        assert "win rate" in text
+        assert "speedup vs lam" in text
+        assert "winner" in text
+
+    def test_rejects_zero_topologies(self):
+        with pytest.raises(ReproError):
+            run_campaign(num_topologies=0)
+
+    def test_empty_summary_win_rate(self):
+        assert CampaignSummary(msize=1, algorithms=("lam",)).win_rate() == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the paper experiment definitions (kept small for speed)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    PAPER_TABLE_A,
+    PAPER_TABLE_B,
+    PAPER_TABLE_C,
+    experiment_topology_a,
+)
+from repro.units import kib
+
+
+class TestDefinitions:
+    def test_registry_contents(self):
+        assert {
+            "topology-a",
+            "topology-b",
+            "topology-c",
+            "ablation-sync",
+            "ablation-redundant-sync",
+        } <= set(EXPERIMENTS)
+
+    def test_reference_tables_complete(self):
+        for table in (PAPER_TABLE_A, PAPER_TABLE_B, PAPER_TABLE_C):
+            assert set(table) == {"lam", "mpich", "generated"}
+            for row in table.values():
+                assert set(row) == {kib(k) for k in (8, 16, 32, 64, 128, 256)}
+
+    def test_paper_headline_numbers(self):
+        """The 64KB topology-(a) numbers quoted in the paper's text."""
+        assert PAPER_TABLE_A["lam"][kib(64)] == 468.8
+        assert PAPER_TABLE_A["mpich"][kib(64)] == 309.7
+        assert PAPER_TABLE_A["generated"][kib(64)] == 217.7
+
+    def test_descriptions_mention_peaks(self):
+        assert "2400" in experiment_topology_a.description
+        assert "516.7" in EXPERIMENTS["topology-b"].description
+        assert "387.5" in EXPERIMENTS["topology-c"].description
+
+
+class TestSmallRun:
+    def test_topology_a_smoke(self):
+        """One small size, one repetition — the full grid lives in benchmarks/."""
+        result = experiment_topology_a.run(sizes=[kib(8)], repetitions=1)
+        assert result.algorithms() == ["lam", "mpich", "generated"]
+        for algorithm in result.algorithms():
+            assert result.cell(algorithm, kib(8)).mean_time > 0
+
+    def test_deep_tree_smoke(self):
+        result = EXPERIMENTS["deep-tree"].run(sizes=[kib(8)], repetitions=1)
+        assert result.topology.num_machines == 27
+        assert "generated" in result.algorithms()
+
+    def test_ablation_sync_smoke(self):
+        result = EXPERIMENTS["ablation-sync"].run(sizes=[kib(8)], repetitions=1)
+        assert set(result.algorithms()) == {
+            "generated",
+            "generated-barrier",
+            "generated-none",
+        }

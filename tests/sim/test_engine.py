@@ -1,0 +1,168 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, SimEvent
+
+
+class TestScheduling:
+    def test_time_advances(self):
+        engine = Engine()
+        times = []
+        engine.schedule(2.0, lambda: times.append(engine.now))
+        engine.schedule(1.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.0, 2.0]
+
+    def test_fifo_for_simultaneous_events(self):
+        engine = Engine()
+        order = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(3.0, lambda: fired.append(3))
+        engine.run(until=2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1, 3]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log = []
+
+        def outer():
+            log.append(("outer", engine.now))
+            engine.schedule(0.5, lambda: log.append(("inner", engine.now)))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert log == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_livelock_backstop(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(0.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="livelock"):
+            engine.run(max_events=1000)
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(0.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 3
+
+
+class TestSimEvent:
+    def test_trigger_wakes_callbacks_in_order(self):
+        engine = Engine()
+        event = engine.event()
+        seen = []
+        event.on_trigger(lambda v: seen.append(("a", v)))
+        event.on_trigger(lambda v: seen.append(("b", v)))
+        event.trigger(42)
+        assert seen == [("a", 42), ("b", 42)]
+        assert event.triggered and event.value == 42
+
+    def test_late_callback_fires_immediately(self):
+        engine = Engine()
+        event = engine.event()
+        event.trigger("x")
+        seen = []
+        event.on_trigger(seen.append)
+        assert seen == ["x"]
+
+    def test_double_trigger_rejected(self):
+        engine = Engine()
+        event = engine.event()
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+
+class TestProcesses:
+    def test_sleep_and_finish_value(self):
+        engine = Engine()
+
+        def proc():
+            yield 1.5
+            yield 0.5
+            return "done"
+
+        done = engine.spawn(proc())
+        engine.run()
+        assert done.triggered
+        assert done.value == "done"
+        assert engine.now == 2.0
+
+    def test_wait_on_event(self):
+        engine = Engine()
+        gate = engine.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((engine.now, value))
+
+        engine.spawn(waiter())
+        engine.schedule(3.0, lambda: gate.trigger("go"))
+        engine.run()
+        assert log == [(3.0, "go")]
+
+    def test_two_processes_interleave(self):
+        engine = Engine()
+        log = []
+
+        def proc(name, delay):
+            yield delay
+            log.append(name)
+            yield delay
+            log.append(name)
+
+        engine.spawn(proc("slow", 2.0))
+        engine.spawn(proc("fast", 0.5))
+        engine.run()
+        assert log == ["fast", "fast", "slow", "slow"]
+
+    def test_bad_yield_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield "nope"
+
+        engine.spawn(proc())
+        with pytest.raises(SimulationError, match="yielded"):
+            engine.run()
+
+    def test_determinism(self):
+        def run_once():
+            engine = Engine()
+            log = []
+
+            def proc(n):
+                for i in range(3):
+                    yield 0.1 * (n + 1)
+                    log.append((n, round(engine.now, 6)))
+
+            for n in range(4):
+                engine.spawn(proc(n))
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

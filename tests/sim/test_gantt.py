@@ -1,0 +1,90 @@
+"""Tests for trace timelines and phase-overlap metrics."""
+
+import pytest
+
+from repro.algorithms import GeneratedAlltoall, get_algorithm
+from repro.errors import ReproError
+from repro.sim.executor import run_programs
+from repro.sim.gantt import (
+    phase_latency_table,
+    phase_overlap_fraction,
+    render_rank_gantt,
+)
+from repro.sim.params import NetworkParams
+from repro.sim.trace import Trace
+from repro.topology.builder import single_switch
+from repro.units import kib
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    topo = single_switch(4)
+    programs = GeneratedAlltoall().build_programs(topo, kib(64))
+    result = run_programs(
+        topo, programs, kib(64), NetworkParams().without_noise(), trace=True
+    )
+    return topo, result
+
+
+class TestGantt:
+    def test_one_row_per_rank(self, traced_run):
+        topo, result = traced_run
+        text = render_rank_gantt(result.trace)
+        for machine in topo.machines:
+            assert machine in text
+
+    def test_subset_of_ranks(self, traced_run):
+        _, result = traced_run
+        text = render_rank_gantt(result.trace, ranks=["n0"])
+        assert "n0" in text and "n1" not in text.split("\n", 1)[1]
+
+    def test_legend_and_scale(self, traced_run):
+        _, result = traced_run
+        text = render_rank_gantt(result.trace, width=40)
+        assert "ms" in text
+        assert "s=send" in text
+        # rows are exactly the requested width between the pipes
+        row = text.splitlines()[1]
+        assert len(row.split("|")[1]) == 40
+
+    def test_glyphs_present(self, traced_run):
+        _, result = traced_run
+        body = render_rank_gantt(result.trace)
+        assert "s" in body and "r" in body
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            render_rank_gantt(Trace())
+
+
+class TestPhaseMetrics:
+    def test_latency_table(self, traced_run):
+        _, result = traced_run
+        text = phase_latency_table(result.trace)
+        assert "phase" in text
+        assert len(text.splitlines()) == 1 + 3  # header + 3 phases
+
+    def test_no_phases_rejected(self):
+        trace = Trace()
+        trace.add(0.0, "n0", "post_send")  # phase -1
+        with pytest.raises(ReproError, match="phase-tagged"):
+            phase_latency_table(trace)
+
+    def test_overlap_fraction_range_and_contention_contrast(self):
+        """Overlap is a pipelining metric in [0, 1]; contention is what
+        distinguishes the sync disciplines (multiplexing 1 vs >= 2)."""
+        from repro.topology.builder import star_of_switches
+
+        topo = star_of_switches([3, 3, 2])
+        params = NetworkParams(seed=3)  # noisy so drift can appear
+        mux = {}
+        for name in ("generated", "generated-nosync"):
+            programs = get_algorithm(name).build_programs(topo, kib(64))
+            result = run_programs(topo, programs, kib(64), params, trace=True)
+            assert 0.0 <= phase_overlap_fraction(result.trace) <= 1.0
+            mux[name] = result.max_edge_multiplexing
+        assert mux["generated"] == 1
+        assert mux["generated-nosync"] >= 2
+
+    def test_empty_trace_overlap_is_zero(self):
+        assert phase_overlap_fraction(Trace()) == 0.0

@@ -1,0 +1,140 @@
+"""Tests for heterogeneous link bandwidths (gigabit-trunk extension)."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.executor import run_programs
+from repro.sim.network import FlowNetwork
+from repro.sim.params import NetworkParams
+from repro.topology.analysis import (
+    weighted_best_case_completion_time,
+    weighted_bottleneck_edges,
+    weighted_peak_aggregate_throughput,
+)
+from repro.topology.builder import chain_of_switches, topology_c
+from repro.units import gbps, kib, mbps
+
+
+def ideal_params(**kwargs):
+    return NetworkParams(
+        base_efficiency=1.0,
+        contention_floor_small=1.0,
+        contention_floor_large=1.0,
+        trunk_floor_small=1.0,
+        trunk_floor_large=1.0,
+        contention_gamma=0.0,
+        **kwargs,
+    )
+
+
+class TestNetworkOverrides:
+    def test_fast_trunk_speeds_up_cross_flow(self):
+        topo = chain_of_switches([1, 1])
+        params = ideal_params()
+        engine = Engine()
+        net = FlowNetwork(
+            engine, topo, params, link_bandwidths={("s0", "s1"): gbps(1)}
+        )
+        times = {}
+        net.start_flow("n0", "n1", 1e6, lambda f: times.__setitem__("t", engine.now))
+        engine.run()
+        # endpoint links still 100 Mbps: they bind at 12.5 MB/s
+        assert times["t"] == pytest.approx(1e6 / mbps(100))
+
+    def test_slow_machine_link_binds(self):
+        topo = chain_of_switches([1, 1])
+        params = ideal_params()
+        engine = Engine()
+        net = FlowNetwork(
+            engine, topo, params, link_bandwidths={("n0", "s0"): mbps(10)}
+        )
+        times = {}
+        net.start_flow("n0", "n1", 1e6, lambda f: times.__setitem__("t", engine.now))
+        engine.run()
+        assert times["t"] == pytest.approx(1e6 / mbps(10))
+
+    def test_orientation_insensitive_keys(self):
+        topo = chain_of_switches([1, 1])
+        engine = Engine()
+        net = FlowNetwork(
+            engine, topo, ideal_params(),
+            link_bandwidths={("s1", "s0"): mbps(10)},
+        )
+        times = {}
+        net.start_flow("n0", "n1", 1e6, lambda f: times.__setitem__("t", engine.now))
+        engine.run()
+        assert times["t"] == pytest.approx(1e6 / mbps(10))
+
+    def test_unknown_link_rejected(self):
+        topo = chain_of_switches([1, 1])
+        with pytest.raises(SimulationError, match="no physical link"):
+            FlowNetwork(
+                Engine(), topo, ideal_params(),
+                link_bandwidths={("n0", "n1"): mbps(10)},
+            )
+
+    def test_nonpositive_bandwidth_rejected(self):
+        topo = chain_of_switches([1, 1])
+        with pytest.raises(SimulationError, match="positive"):
+            FlowNetwork(
+                Engine(), topo, ideal_params(),
+                link_bandwidths={("s0", "s1"): 0.0},
+            )
+
+
+class TestWeightedAnalysis:
+    def test_uniform_reduces_to_plain(self, topo_c):
+        assert weighted_best_case_completion_time(
+            topo_c, kib(64), mbps(100)
+        ) == pytest.approx(256 * kib(64) / mbps(100))
+
+    def test_gigabit_trunks_shift_bottleneck_to_endpoints(self, topo_c):
+        fast_trunks = {
+            ("s0", "s1"): gbps(1),
+            ("s1", "s2"): gbps(1),
+            ("s2", "s3"): gbps(1),
+        }
+        edges = weighted_bottleneck_edges(topo_c, mbps(100), fast_trunks)
+        # machine links (load 31 at 100 Mbps = 0.31 us/byte-ish) now bind
+        assert all("n" in e[0] or "n" in e[1] for e in edges)
+        peak = weighted_peak_aggregate_throughput(topo_c, mbps(100), fast_trunks)
+        # peak rises from 387.5 Mbps to 32*31*100/31 = 3200 Mbps
+        assert peak * 8 / 1e6 == pytest.approx(3200.0)
+
+    def test_partial_upgrade(self, topo_c):
+        # only the middle trunk upgraded: outer trunks (load 8*24=192) bind
+        upgraded = {("s1", "s2"): gbps(1)}
+        peak = weighted_peak_aggregate_throughput(topo_c, mbps(100), upgraded)
+        assert peak * 8 / 1e6 == pytest.approx(32 * 31 * 100 / 192, rel=1e-6)
+
+
+class TestEndToEnd:
+    def test_trunk_upgrade_changes_the_winner(self):
+        """A 10x trunk invalidates the paper's uniform-B optimality.
+
+        The generated schedule serialises the trunk to one flow per
+        phase — with a gigabit trunk each flow is endpoint-limited, so
+        the upgrade buys it nothing.  LAM's concurrent flows fill the
+        fat trunk and overtake.  (This is exactly the regime the paper
+        excludes by assuming equal bandwidth B on all links; see
+        DESIGN.md's limitations note.)
+        """
+        topo = chain_of_switches([4, 4])
+        params = NetworkParams(seed=0)
+        fast = {("s0", "s1"): gbps(1)}
+        results = {}
+        for name in ("lam", "generated"):
+            programs = get_algorithm(name).build_programs(topo, kib(128))
+            base = run_programs(topo, programs, kib(128), params)
+            upgraded = run_programs(
+                topo, programs, kib(128), params, link_bandwidths=fast
+            )
+            results[name] = (base.completion_time, upgraded.completion_time)
+        lam_base, lam_up = results["lam"]
+        gen_base, gen_up = results["generated"]
+        assert lam_up < lam_base  # concurrency exploits the fat trunk
+        assert gen_up == pytest.approx(gen_base)  # endpoint-paced phases
+        assert gen_base < lam_base  # uniform B: the paper's result
+        assert lam_up < gen_up  # 10x trunk: concurrency wins

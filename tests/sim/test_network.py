@@ -1,0 +1,183 @@
+"""Tests for the flow-level network: timing, max-min fairness, conservation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.network import FlowNetwork
+from repro.sim.params import NetworkParams
+from repro.topology.builder import chain_of_switches, single_switch
+
+
+def make_net(topo=None, **kwargs):
+    params = NetworkParams(
+        base_efficiency=1.0,
+        contention_floor_small=1.0,
+        contention_floor_large=1.0,
+        contention_gamma=0.0,
+        **kwargs,
+    )
+    engine = Engine()
+    if topo is None:
+        topo = single_switch(4)
+    return engine, FlowNetwork(engine, topo, params), params
+
+
+class TestSingleFlow:
+    def test_exact_transfer_time(self):
+        engine, net, params = make_net()
+        done = []
+        net.start_flow("n0", "n1", 1_000_000, lambda f: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(1_000_000 / params.bandwidth)]
+
+    def test_flow_metadata(self):
+        engine, net, _ = make_net()
+        records = []
+        flow = net.start_flow("n0", "n1", 500.0, records.append)
+        engine.run()
+        assert flow.end_time is not None
+        assert flow.remaining == 0.0
+        assert flow.edges == (("n0", "s0"), ("s0", "n1"))
+        assert records == [flow]
+
+    def test_zero_size_rejected(self):
+        _, net, _ = make_net()
+        with pytest.raises(SimulationError):
+            net.start_flow("n0", "n1", 0, lambda f: None)
+
+
+class TestSharing:
+    def test_two_flows_same_uplink_halve(self):
+        """Two flows out of n0 share its uplink: both take twice as long."""
+        engine, net, params = make_net()
+        times = {}
+        net.start_flow("n0", "n1", 1e6, lambda f: times.__setitem__("a", engine.now))
+        net.start_flow("n0", "n2", 1e6, lambda f: times.__setitem__("b", engine.now))
+        engine.run()
+        expected = 2e6 / params.bandwidth
+        assert times["a"] == pytest.approx(expected)
+        assert times["b"] == pytest.approx(expected)
+
+    def test_disjoint_flows_independent(self):
+        engine, net, params = make_net()
+        times = {}
+        net.start_flow("n0", "n1", 1e6, lambda f: times.__setitem__("a", engine.now))
+        net.start_flow("n2", "n3", 1e6, lambda f: times.__setitem__("b", engine.now))
+        engine.run()
+        assert times["a"] == pytest.approx(1e6 / params.bandwidth)
+        assert times["b"] == pytest.approx(1e6 / params.bandwidth)
+
+    def test_released_capacity_speeds_up_survivor(self):
+        """After the short flow finishes, the long one gets full bandwidth."""
+        engine, net, params = make_net()
+        times = {}
+        b = params.bandwidth
+        net.start_flow("n0", "n1", b, lambda f: times.__setitem__("short", engine.now))
+        net.start_flow("n0", "n2", 1.5 * b, lambda f: times.__setitem__("long", engine.now))
+        engine.run()
+        # share until the short one ends: both at B/2; short needs B bytes
+        # -> ends at t=2. Long has 0.5B left, full speed -> ends at 2.5.
+        assert times["short"] == pytest.approx(2.0)
+        assert times["long"] == pytest.approx(2.5)
+
+    def test_max_min_unequal_paths(self):
+        """Classic max-min example on a chain: a long flow and two locals."""
+        topo = chain_of_switches([2, 2])
+        engine = Engine()
+        params = NetworkParams(
+            base_efficiency=1.0,
+            contention_floor_small=1.0,
+            contention_floor_large=1.0,
+            contention_gamma=0.0,
+        )
+        net = FlowNetwork(engine, topo, params)
+        b = params.bandwidth
+        rates = {}
+
+        def snapshot():
+            for name, flow in flows.items():
+                rates[name] = flow.rate
+
+        flows = {
+            # crosses trunk and both hosts' links
+            "cross": net.start_flow("n0", "n2", 10 * b, lambda f: None),
+            # competes with cross at n0's uplink
+            "local": net.start_flow("n0", "n1", 10 * b, lambda f: None),
+        }
+        engine.schedule(0.001, snapshot)
+        engine.run(until=0.002)
+        # n0's uplink is the only contended edge: each gets B/2.
+        assert rates["cross"] == pytest.approx(b / 2)
+        assert rates["local"] == pytest.approx(b / 2)
+
+
+class TestConservationAndStats:
+    def test_bytes_conserved(self):
+        engine, net, _ = make_net()
+        total = 0.0
+        import random
+
+        rng = random.Random(3)
+        machines = ["n0", "n1", "n2", "n3"]
+        for i in range(12):
+            src, dst = rng.sample(machines, 2)
+            size = rng.randint(1_000, 500_000)
+            total += size
+            engine.schedule(
+                rng.random() * 0.01,
+                lambda s=src, d=dst, z=size: net.start_flow(s, d, z, lambda f: None),
+            )
+        engine.run()
+        assert net.bytes_injected == pytest.approx(total)
+        assert net.bytes_delivered == pytest.approx(total, rel=1e-6)
+        assert net.active_flows == 0
+
+    def test_peak_and_multiplexing_stats(self):
+        engine, net, _ = make_net()
+        for dst in ("n1", "n2", "n3"):
+            net.start_flow("n0", dst, 1e6, lambda f: None)
+        engine.run()
+        assert net.peak_concurrent_flows == 3
+        assert net.max_edge_multiplexing == 3
+
+
+class TestContentionPenalty:
+    def test_endpoint_penalty_applies(self):
+        engine = Engine()
+        params = NetworkParams(
+            base_efficiency=1.0,
+            contention_floor_small=0.5,
+            contention_floor_large=0.5,
+            contention_gamma=1e9,  # jump straight to the floor
+            contention_grace=1,
+        )
+        topo = single_switch(4)
+        net = FlowNetwork(engine, topo, params)
+        times = {}
+        net.start_flow("n0", "n1", 1e6, lambda f: times.__setitem__("a", engine.now))
+        net.start_flow("n0", "n2", 1e6, lambda f: times.__setitem__("b", engine.now))
+        engine.run()
+        # uplink capacity halves: 2 MB through B/2 instead of B
+        assert times["a"] == pytest.approx(4e6 / params.bandwidth)
+
+    def test_trunk_penalty_milder_than_endpoint(self):
+        engine = Engine()
+        params = NetworkParams(
+            base_efficiency=1.0,
+            contention_floor_small=0.5,
+            contention_floor_large=0.5,
+            trunk_floor_small=0.8,
+            trunk_floor_large=0.8,
+            contention_gamma=1e9,
+            contention_grace=1,
+        )
+        topo = chain_of_switches([2, 2])
+        net = FlowNetwork(engine, topo, params)
+        times = {}
+        # two flows sharing only the trunk (different hosts both sides)
+        net.start_flow("n0", "n2", 1e6, lambda f: times.__setitem__("a", engine.now))
+        net.start_flow("n1", "n3", 1e6, lambda f: times.__setitem__("b", engine.now))
+        engine.run()
+        # trunk capacity 0.8 * B shared by two flows
+        assert times["a"] == pytest.approx(2e6 / (0.8 * params.bandwidth))

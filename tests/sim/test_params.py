@@ -1,0 +1,114 @@
+"""Tests for NetworkParams validation and the congestion model."""
+
+import pytest
+
+from repro.sim.params import NetworkParams
+from repro.units import mbps
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bandwidth": 0},
+            {"bandwidth": -1},
+            {"base_efficiency": 0},
+            {"base_efficiency": 1.5},
+            {"contention_floor_small": 0},
+            {"contention_floor_large": 2},
+            {"contention_gamma": -0.1},
+            {"jitter": -0.5},
+            {"rank_speed_spread": -0.1},
+            {"stall_prob": 1.5},
+            {"eager_threshold": -1},
+            {"socket_buffer_bytes": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkParams(**kwargs)
+
+    def test_defaults_valid(self):
+        NetworkParams()
+
+
+class TestTransferModes:
+    def test_boundaries(self):
+        p = NetworkParams(eager_threshold=1024, socket_buffer_bytes=16384)
+        assert p.transfer_mode(0) == "eager"
+        assert p.transfer_mode(1024) == "eager"
+        assert p.transfer_mode(1025) == "buffered"
+        assert p.transfer_mode(16383) == "buffered"
+        # strict boundary: exactly the socket buffer already rendezvous
+        assert p.transfer_mode(16384) == "rendezvous"
+        assert p.transfer_mode(1 << 20) == "rendezvous"
+
+
+class TestCongestionCurve:
+    def test_single_flow_full_efficiency(self):
+        p = NetworkParams()
+        line = p.bandwidth * p.base_efficiency
+        assert p.effective_capacity(1, 1 << 20) == pytest.approx(line)
+
+    def test_grace_window(self):
+        p = NetworkParams(contention_grace=2)
+        line = p.bandwidth * p.base_efficiency
+        assert p.effective_capacity(2, 1 << 20) == pytest.approx(line)
+        assert p.effective_capacity(3, 1 << 20) < line
+
+    def test_monotone_decreasing_in_flows(self):
+        p = NetworkParams()
+        caps = [p.effective_capacity(n, 1 << 20) for n in range(1, 40)]
+        assert all(a >= b - 1e-9 for a, b in zip(caps, caps[1:]))
+
+    def test_saturates_at_floor(self):
+        p = NetworkParams()
+        line = p.bandwidth * p.base_efficiency
+        cap = p.effective_capacity(10_000, 1 << 20)
+        assert cap == pytest.approx(line * p.contention_floor_large, rel=0.01)
+
+    def test_small_flows_collapse_less(self):
+        p = NetworkParams()
+        small = p.effective_capacity(20, 4096)
+        large = p.effective_capacity(20, 1 << 20)
+        assert small > large
+
+    def test_trunk_edges_collapse_more_gently(self):
+        p = NetworkParams()
+        line = p.bandwidth * p.base_efficiency
+        trunk = p.effective_capacity(50, 1 << 20, endpoint_edge=False)
+        endpoint = p.effective_capacity(50, 1 << 20, endpoint_edge=True)
+        assert endpoint < trunk < line
+        assert trunk == pytest.approx(line * p.trunk_floor_large, rel=0.01)
+
+    def test_floor_selector(self):
+        p = NetworkParams()
+        big, small = p.large_flow_threshold, p.large_flow_threshold - 1
+        assert p.contention_floor(big) == p.contention_floor_large
+        assert p.contention_floor(small) == p.contention_floor_small
+        assert p.contention_floor(big, endpoint_edge=False) == p.trunk_floor_large
+        assert p.contention_floor(small, endpoint_edge=False) == p.trunk_floor_small
+
+
+class TestDerivedCopies:
+    def test_with_seed(self):
+        p = NetworkParams(seed=0)
+        q = p.with_seed(7)
+        assert q.seed == 7
+        assert q.bandwidth == p.bandwidth
+
+    def test_without_noise(self):
+        q = NetworkParams().without_noise()
+        assert q.jitter == 0 and q.rank_speed_spread == 0 and q.stall_prob == 0
+
+    def test_without_contention_penalty(self):
+        q = NetworkParams().without_contention_penalty()
+        line = q.bandwidth * q.base_efficiency
+        assert q.effective_capacity(100, 1 << 20) == pytest.approx(line)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NetworkParams().bandwidth = 1.0  # type: ignore[misc]
+
+    def test_default_bandwidth_is_100mbps(self):
+        assert NetworkParams().bandwidth == pytest.approx(mbps(100))

@@ -1,0 +1,54 @@
+"""Unit tests for the Trace container itself."""
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+class TestTrace:
+    def make(self):
+        trace = Trace()
+        trace.add(0.0, "n0", "post_send", "n1", 5, 0)
+        trace.add(0.5, "n1", "post_recv", "n0", 5, 0)
+        trace.add(1.0, "n0", "waitall_done", phase=0)
+        trace.add(2.0, "n0", "post_send", "n2", 6, 1)
+        return trace
+
+    def test_add_and_len(self):
+        assert len(self.make()) == 4
+
+    def test_disabled_trace_drops_records(self):
+        trace = Trace(enabled=False)
+        trace.add(0.0, "n0", "post_send")
+        assert len(trace) == 0
+
+    def test_of_rank(self):
+        trace = self.make()
+        assert len(trace.of_rank("n0")) == 3
+        assert len(trace.of_rank("n1")) == 1
+        assert trace.of_rank("ghost") == []
+
+    def test_of_kind(self):
+        trace = self.make()
+        assert len(trace.of_kind("post_send")) == 2
+        assert all(r.what == "post_send" for r in trace.of_kind("post_send"))
+
+    def test_first_with_and_without_tag(self):
+        trace = self.make()
+        rec = trace.first("n0", "post_send")
+        assert rec is not None and rec.tag == 5
+        rec6 = trace.first("n0", "post_send", tag=6)
+        assert rec6 is not None and rec6.time == 2.0
+        assert trace.first("n0", "barrier") is None
+
+    def test_phase_spans(self):
+        spans = self.make().phase_spans()
+        assert spans[0] == (0.0, 1.0)
+        assert spans[1] == (2.0, 2.0)
+
+    def test_records_are_immutable(self):
+        record = TraceRecord(0.0, "n0", "x")
+        try:
+            record.time = 1.0  # type: ignore[misc]
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated

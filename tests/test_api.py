@@ -1,0 +1,122 @@
+"""Tests for the high-level Communicator API and the package surface."""
+
+import pytest
+
+import repro
+from repro.api import Communicator
+from repro.errors import ReproError
+from repro.sim.params import NetworkParams
+from repro.topology.builder import chain_of_switches, single_switch
+from repro.units import gbps, kib
+
+
+@pytest.fixture(scope="module")
+def comm():
+    return Communicator(
+        single_switch(6), NetworkParams().without_noise()
+    )
+
+
+class TestCommunicator:
+    def test_size_and_names(self, comm):
+        assert comm.size == 6
+        assert comm.rank_name(0) == "n0"
+
+    def test_alltoall_default_is_generated(self, comm):
+        result = comm.alltoall(kib(64))
+        assert result.max_edge_multiplexing == 1
+        assert result.completion_time > 0
+
+    def test_alltoall_algorithms(self, comm):
+        lam = comm.alltoall(kib(64), algorithm="lam")
+        generated = comm.alltoall(kib(64))
+        assert lam.completion_time != generated.completion_time
+
+    def test_program_cache_reused(self, comm):
+        comm.alltoall(kib(8))
+        cached = comm._program_cache[("generated", kib(8))]
+        comm.alltoall(kib(8))
+        assert comm._program_cache[("generated", kib(8))] is cached
+
+    def test_seed_override(self, comm):
+        noisy = Communicator(single_switch(6), NetworkParams())
+        a = noisy.alltoall(kib(64), seed=1)
+        b = noisy.alltoall(kib(64), seed=2)
+        assert a.completion_time != b.completion_time
+
+    def test_alltoallv(self, comm):
+        sizes = {("n0", "n1"): kib(64), ("n2", "n3"): kib(8)}
+        result = comm.alltoallv(sizes)
+        assert result.received_blocks["n1"] == {("n0", "n1")}
+        postall = comm.alltoallv(sizes, scheduled=False)
+        assert postall.completion_time > 0
+
+    def test_allgather_variants(self, comm):
+        ring = comm.allgather(kib(16))
+        with pytest.raises(ReproError, match="unknown allgather"):
+            comm.allgather(kib(16), algorithm="magic")
+        comm8 = Communicator(
+            single_switch(8), NetworkParams().without_noise()
+        )
+        rd = comm8.allgather(kib(16), algorithm="recursive-doubling")
+        assert ring.completion_time > 0 and rd.completion_time > 0
+
+    def test_rooted_collectives(self, comm):
+        for method in (comm.bcast, comm.scatter, comm.gather):
+            result = method(kib(32), root=2)
+            assert result.completion_time > 0
+
+    def test_root_by_name(self, comm):
+        assert comm.bcast(kib(4), root="n3").completion_time > 0
+
+    def test_trace_passthrough(self, comm):
+        result = comm.alltoall(kib(64), trace=True)
+        assert result.trace is not None
+
+    def test_link_bandwidth_override(self):
+        topo = chain_of_switches([2, 2])
+        base = Communicator(topo, NetworkParams().without_noise())
+        fast = Communicator(
+            topo,
+            NetworkParams().without_noise(),
+            link_bandwidths={("s0", "s1"): gbps(1)},
+        )
+        slow_t = base.alltoall(kib(128), algorithm="lam").completion_time
+        fast_t = fast.alltoall(kib(128), algorithm="lam").completion_time
+        assert fast_t < slow_t
+
+
+class TestPackageSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.TopologyError, repro.ReproError)
+        assert issubclass(repro.SchedulingError, repro.ReproError)
+        assert issubclass(repro.VerificationError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.ProgramError, repro.ReproError)
+        assert issubclass(repro.CodegenError, repro.ReproError)
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.algorithms
+        import repro.collectives
+        import repro.core
+        import repro.harness
+        import repro.sim
+        import repro.topology
+
+        for module in (
+            repro.algorithms,
+            repro.collectives,
+            repro.core,
+            repro.harness,
+            repro.sim,
+            repro.topology,
+        ):
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module.__name__}.{name}"

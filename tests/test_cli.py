@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.topology.builder import paper_example_cluster
+from repro.topology.serialization import dumps_topology
+
+
+@pytest.fixture
+def topo_file(tmp_path):
+    path = tmp_path / "fig1.topo"
+    path.write_text(dumps_topology(paper_example_cluster()))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_builtin(self, capsys):
+        assert main(["analyze", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "machines: 6" in out
+        assert "AAPC load (bottleneck): 9" in out
+        assert "333.3 Mbps" in out
+
+    def test_topology_file(self, topo_file, capsys):
+        assert main(["analyze", topo_file]) == 0
+        assert "machines: 6" in capsys.readouterr().out
+
+    def test_topology_a_peak(self, capsys):
+        assert main(["analyze", "a"]) == 0
+        assert "2400.0 Mbps" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_table4_output(self, capsys):
+        assert main(["schedule", "fig1", "--root", "s1"]) == 0
+        out = capsys.readouterr().out
+        assert "phases: 9" in out
+        assert "root: s1" in out
+        assert "G:n0->n4" in out  # phase 0 of Table 4
+
+    def test_json_export(self, tmp_path, capsys):
+        from repro.core.schedule_io import load_schedule
+        from repro.core.verify import verify_schedule
+
+        path = str(tmp_path / "fig1-schedule.json")
+        assert main(["schedule", "fig1", "--root", "s1", "--json", path]) == 0
+        schedule = load_schedule(path)
+        verify_schedule(schedule)
+        assert schedule.num_phases == 9
+
+    def test_sync_listing(self, capsys):
+        assert main(["schedule", "fig1", "--root", "s1", "--syncs"]) == 0
+        out = capsys.readouterr().out
+        assert "sync messages:" in out
+        assert "sync[" in out
+
+
+class TestCodegen:
+    def test_stdout(self, capsys):
+        assert main(["codegen", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI_Isend" in out and "Alltoall_generated" in out
+
+    def test_to_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "alltoall.c")
+        assert main(["codegen", "fig1", "-o", out_path]) == 0
+        with open(out_path) as fh:
+            assert "MPI_Waitall" in fh.read()
+
+
+class TestSimulate:
+    def test_default_algorithms(self, capsys):
+        assert main(["simulate", "fig1", "--msize", "64KB"]) == 0
+        out = capsys.readouterr().out
+        assert "lam" in out and "generated" in out and "ms" in out
+
+    def test_single_algorithm(self, capsys):
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB", "--algorithms", "bruck"]
+        ) == 0
+        assert "bruck" in capsys.readouterr().out
+
+
+class TestStp:
+    @pytest.fixture
+    def wiring_file(self, tmp_path):
+        path = tmp_path / "wiring.phys"
+        path.write_text(
+            "switch core priority=4096\n"
+            "switch leaf1\nswitch leaf2\n"
+            "machine n0 leaf1\nmachine n1 leaf2\nmachine n2 core\n"
+            "trunk core leaf1\ntrunk core leaf2\ntrunk leaf1 leaf2\n"
+        )
+        return str(path)
+
+    def test_blocks_redundant_link(self, wiring_file, capsys):
+        assert main(["stp", wiring_file]) == 0
+        out = capsys.readouterr().out
+        assert "root bridge: core" in out
+        assert "BLOCKED leaf1 <-> leaf2" in out
+
+    def test_writes_forwarding_topology(self, wiring_file, tmp_path, capsys):
+        out_path = str(tmp_path / "fwd.topo")
+        assert main(["stp", wiring_file, "-o", out_path]) == 0
+        from repro.topology.serialization import load_topology
+
+        topo = load_topology(out_path)
+        assert topo.num_machines == 3
+
+
+class TestGantt:
+    def test_timeline(self, capsys):
+        assert main(
+            ["gantt", "fig1", "--msize", "64KB", "--ranks", "3", "--phases"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max link multiplexing 1" in out
+        assert "n0 |" in out
+        assert "phase" in out
+
+
+class TestInspect:
+    def test_lam_hotspots(self, capsys):
+        assert main(["inspect", "fig1", "--algorithm", "lam"]) == 0
+        out = capsys.readouterr().out
+        assert "max per-phase edge concurrency: 9" in out
+        assert "hotspots" in out
+
+    def test_generated_clean(self, capsys):
+        assert main(["inspect", "fig1", "--algorithm", "generated"]) == 0
+        out = capsys.readouterr().out
+        assert "max per-phase edge concurrency: 1" in out
+
+
+class TestCampaign:
+    def test_small_campaign(self, capsys):
+        assert main(
+            ["campaign", "--topologies", "2", "--msize", "64KB",
+             "--repetitions", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "win rate" in out
+        assert "speedup vs lam" in out
+
+
+class TestRepro:
+    def test_unknown_experiment(self, capsys):
+        assert main(["repro", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_small_repro_run(self, capsys):
+        code = main(
+            ["repro", "topology-a", "--sizes", "8KB", "--repetitions", "1", "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology-a" in out
+        assert "paper's measured milliseconds" in out
+        assert "speedups" in out
+        assert "peak = 2400.0" in out

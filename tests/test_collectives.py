@@ -1,0 +1,273 @@
+"""Tests for the collectives built on the op-IR substrate."""
+
+import pytest
+
+from repro.collectives import (
+    binomial_bcast,
+    binomial_gather,
+    binomial_scatter,
+    recursive_doubling_allgather,
+    ring_allgather,
+)
+from repro.core.program import OpKind
+from repro.errors import SchedulingError
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import chain_of_switches, single_switch
+from repro.units import kib
+
+
+def execute(topo, build, params):
+    return run_programs(
+        topo,
+        build.programs,
+        msize=0,  # every op carries explicit nbytes
+        params=params,
+        expected_blocks=build.expected_blocks,
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 12])
+class TestDeliveryAllSizes:
+    """Executor-verified delivery for every collective and rank count."""
+
+    def test_bcast(self, n, quiet_params):
+        topo = single_switch(n)
+        execute(topo, binomial_bcast(topo, kib(64)), quiet_params)
+
+    def test_scatter(self, n, quiet_params):
+        topo = single_switch(n)
+        execute(topo, binomial_scatter(topo, kib(64)), quiet_params)
+
+    def test_gather(self, n, quiet_params):
+        topo = single_switch(n)
+        execute(topo, binomial_gather(topo, kib(64)), quiet_params)
+
+    def test_ring_allgather(self, n, quiet_params):
+        topo = single_switch(n)
+        execute(topo, ring_allgather(topo, kib(64)), quiet_params)
+
+
+class TestRootHandling:
+    def test_nonzero_root_bcast(self, quiet_params):
+        topo = single_switch(6)
+        build = binomial_bcast(topo, kib(64), root=3)
+        execute(topo, build, quiet_params)
+        assert build.expected_blocks["n0"] == {("n3", "n0")}
+        assert build.expected_blocks["n3"] == set()
+
+    def test_root_by_name(self, quiet_params):
+        topo = single_switch(4)
+        build = binomial_scatter(topo, kib(64), root="n2")
+        execute(topo, build, quiet_params)
+        assert build.expected_blocks["n0"] == {("n2", "n0")}
+
+    def test_gather_root(self, quiet_params):
+        topo = single_switch(5)
+        build = binomial_gather(topo, kib(64), root=1)
+        execute(topo, build, quiet_params)
+        assert build.expected_blocks["n1"] == {
+            (m, "n1") for m in topo.machines if m != "n1"
+        }
+        assert build.expected_blocks["n0"] == set()
+
+    def test_bad_root_rejected(self):
+        topo = single_switch(4)
+        with pytest.raises(SchedulingError, match="out of range"):
+            binomial_bcast(topo, kib(64), root=9)
+
+
+class TestStructure:
+    def test_bcast_rounds(self):
+        topo = single_switch(8)
+        build = binomial_bcast(topo, kib(64))
+        # root sends log2(8) = 3 times; total messages = N - 1
+        root_sends = build.programs["n0"].count(OpKind.ISEND)
+        assert root_sends == 3
+        total = sum(p.count(OpKind.ISEND) for p in build.programs.values())
+        assert total == 7
+
+    def test_bcast_wire_bytes(self):
+        """Binomial bcast puts (N-1) * msize on the wire."""
+        topo = single_switch(8)
+        build = binomial_bcast(topo, kib(64))
+        assert build.total_wire_bytes() == 7 * kib(64)
+
+    def test_scatter_halves_payload(self):
+        topo = single_switch(8)
+        build = binomial_scatter(topo, kib(1))
+        sizes = [
+            op.nbytes
+            for op in build.programs["n0"].ops
+            if op.kind == OpKind.ISEND
+        ]
+        assert sorted(sizes, reverse=True) == [kib(4), kib(2), kib(1)]
+
+    def test_gather_mirror_of_scatter(self):
+        topo = single_switch(8)
+        scatter = binomial_scatter(topo, kib(1))
+        gather = binomial_gather(topo, kib(1))
+        assert scatter.total_wire_bytes() == gather.total_wire_bytes()
+
+    def test_ring_steps(self):
+        topo = single_switch(6)
+        build = ring_allgather(topo, kib(4))
+        for prog in build.programs.values():
+            assert prog.count(OpKind.ISEND) == 5
+            assert prog.count(OpKind.WAITALL) == 5
+
+    def test_recursive_doubling_payload_doubles(self):
+        topo = single_switch(8)
+        build = recursive_doubling_allgather(topo, kib(1))
+        sizes = [
+            op.nbytes
+            for op in build.programs["n0"].ops
+            if op.kind == OpKind.ISEND
+        ]
+        assert sizes == [kib(1), kib(2), kib(4)]
+
+    def test_recursive_doubling_rejects_non_pof2(self):
+        with pytest.raises(SchedulingError, match="power-of-two"):
+            recursive_doubling_allgather(single_switch(6), kib(1))
+
+    def test_recursive_doubling_delivers(self, quiet_params):
+        topo = single_switch(8)
+        execute(topo, recursive_doubling_allgather(topo, kib(16)), quiet_params)
+
+
+class TestDfsRing:
+    def test_dfs_order_groups_by_subtree(self):
+        from repro.collectives.allgather import dfs_machine_order
+        from repro.topology.builder import paper_example_cluster
+
+        topo = paper_example_cluster()
+        order = dfs_machine_order(topo)
+        assert set(order) == set(topo.machines)
+        # n0, n1, n2 (behind s0) appear contiguously in a DFS walk
+        positions = [order.index(m) for m in ("n0", "n1", "n2")]
+        assert max(positions) - min(positions) == 2
+
+    def test_dfs_ring_delivers(self, quiet_params):
+        from repro.topology.builder import random_tree
+
+        topo = random_tree(8, 4, seed=3)
+        build = ring_allgather(topo, kib(16), order="dfs")
+        assert build.name == "ring-allgather-dfs"
+        execute(topo, build, quiet_params)
+
+    def test_dfs_ring_crossings_never_worse(self):
+        """Static check: the DFS ring crosses every tree edge at most
+        twice per direction, never more than the rank-order ring."""
+        from repro.collectives.allgather import dfs_machine_order
+        from repro.topology.builder import random_tree
+        from repro.topology.paths import PathOracle
+
+        for seed in range(6):
+            topo = random_tree(10, 5, seed=seed)
+            oracle = PathOracle(topo)
+
+            def ring_edge_crossings(order):
+                counts = {}
+                for i, src in enumerate(order):
+                    dst = order[(i + 1) % len(order)]
+                    for edge in oracle.path_edges(src, dst):
+                        counts[edge] = counts.get(edge, 0) + 1
+                return counts
+
+            dfs_counts = ring_edge_crossings(dfs_machine_order(topo))
+            rank_counts = ring_edge_crossings(list(topo.machines))
+            assert max(dfs_counts.values()) <= 2
+            assert max(dfs_counts.values()) <= max(rank_counts.values())
+
+    def test_dfs_ring_wins_on_scrambled_ranks(self):
+        """With ranks alternating across switches, the rank-order ring
+        crosses the trunk every hop; the DFS ring fixes it."""
+        from repro.topology.graph import Topology
+
+        topo = Topology()
+        topo.add_switch("s0")
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        topo.add_link("s0", "s1")
+        topo.add_link("s0", "s2")
+        # ranks alternate between the two leaf switches
+        for i in range(6):
+            name = f"n{i}"
+            topo.add_machine(name)
+            topo.add_link("s1" if i % 2 == 0 else "s2", name)
+        topo.validate()
+        params = NetworkParams(seed=0)
+        naive = execute(topo, ring_allgather(topo, kib(128)), params)
+        dfs = execute(topo, ring_allgather(topo, kib(128), order="dfs"), params)
+        assert naive.max_edge_multiplexing >= 3  # trunk overloaded
+        assert dfs.max_edge_multiplexing == 1
+        assert dfs.completion_time < naive.completion_time
+
+    def test_unknown_order_rejected(self):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="ring order"):
+            ring_allgather(single_switch(4), kib(8), order="bfs")
+
+
+class TestCollectiveProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_rooted_collectives_on_random_trees(self, data):
+        """Bcast/scatter/gather deliver for any tree and any root."""
+        from repro.topology.builder import random_tree
+
+        topo = random_tree(
+            data.draw(self.st.integers(2, 9), label="machines"),
+            data.draw(self.st.integers(1, 3), label="switches"),
+            seed=data.draw(self.st.integers(0, 500), label="seed"),
+        )
+        root = data.draw(
+            self.st.integers(0, topo.num_machines - 1), label="root"
+        )
+        builder = data.draw(
+            self.st.sampled_from(
+                [binomial_bcast, binomial_scatter, binomial_gather]
+            ),
+            label="collective",
+        )
+        build = builder(topo, kib(8), root=root)
+        params = NetworkParams().without_noise()
+        execute(topo, build, params)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_allgather_rings_on_random_trees(self, data):
+        from repro.topology.builder import random_tree
+
+        topo = random_tree(
+            data.draw(self.st.integers(2, 8), label="machines"),
+            data.draw(self.st.integers(1, 3), label="switches"),
+            seed=data.draw(self.st.integers(0, 500), label="seed"),
+        )
+        order = data.draw(self.st.sampled_from([None, "dfs"]), label="order")
+        build = ring_allgather(topo, kib(8), order=order)
+        execute(topo, build, NetworkParams().without_noise())
+
+
+class TestTopologyStory:
+    def test_ring_beats_recursive_doubling_on_chain(self):
+        """The paper's lesson transfers: neighbour rings respect trunks."""
+        topo = chain_of_switches([4, 4])
+        params = NetworkParams(seed=0)
+        ring = execute(topo, ring_allgather(topo, kib(128)), params)
+        rd = execute(
+            topo, recursive_doubling_allgather(topo, kib(128)), params
+        )
+        assert ring.completion_time < rd.completion_time
+
+    def test_same_total_blocks_delivered(self, quiet_params):
+        topo = chain_of_switches([2, 2])
+        ring = execute(topo, ring_allgather(topo, kib(8)), quiet_params)
+        rd = execute(
+            topo, recursive_doubling_allgather(topo, kib(8)), quiet_params
+        )
+        assert ring.received_blocks == rd.received_blocks

@@ -1,0 +1,52 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_kib_mib(self):
+        assert units.kib(8) == 8192
+        assert units.mib(1) == 1048576
+
+    def test_format_size(self):
+        assert units.format_size(units.kib(64)) == "64KB"
+        assert units.format_size(units.mib(2)) == "2MB"
+        assert units.format_size(100) == "100B"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64KB", 65536),
+            ("64K", 65536),
+            ("1MB", 1048576),
+            ("1M", 1048576),
+            ("512", 512),
+            ("512B", 512),
+            (" 8kb ", 8192),
+            ("0.5K", 512),
+        ],
+    )
+    def test_parse_size(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_parse_format_round_trip(self):
+        for k in (8, 16, 32, 64, 128, 256):
+            assert units.parse_size(units.format_size(units.kib(k))) == units.kib(k)
+
+
+class TestBandwidthAndTime:
+    def test_mbps(self):
+        assert units.mbps(100) == pytest.approx(12.5e6)
+
+    def test_gbps(self):
+        assert units.gbps(1) == pytest.approx(125e6)
+
+    def test_round_trip_mbps(self):
+        assert units.bytes_per_sec_to_mbps(units.mbps(100)) == pytest.approx(100)
+
+    def test_times(self):
+        assert units.ms(250) == pytest.approx(0.25)
+        assert units.us(15) == pytest.approx(1.5e-5)
+        assert units.seconds_to_ms(0.25) == pytest.approx(250)

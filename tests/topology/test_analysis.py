@@ -1,0 +1,141 @@
+"""Tests for load/bottleneck analysis and the Section 3 throughput bound."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pattern import aapc_messages
+from repro.errors import TopologyError
+from repro.topology.analysis import (
+    aapc_edge_loads,
+    aapc_load,
+    best_case_completion_time,
+    bottleneck_edges,
+    pattern_edge_loads,
+    peak_aggregate_throughput,
+    subtree_machine_counts,
+)
+from repro.topology.builder import (
+    paper_example_cluster,
+    random_tree,
+    single_switch,
+    topology_a,
+    topology_b,
+    topology_c,
+)
+from repro.units import mbps
+
+
+class TestSubtreeCounts:
+    def test_fig1_counts(self, fig1):
+        counts = subtree_machine_counts(fig1)
+        assert counts[("s1", "s0")] == 3
+        assert counts[("s0", "s1")] == 3
+        assert counts[("s1", "s3")] == 2
+        assert counts[("s3", "s1")] == 4
+        assert counts[("s1", "n5")] == 1
+
+    def test_counts_sum_to_total(self, fig1):
+        counts = subtree_machine_counts(fig1)
+        for u, v in fig1.links:
+            assert counts[(u, v)] + counts[(v, u)] == fig1.num_machines
+
+
+class TestLoads:
+    def test_fig1_loads(self, fig1):
+        loads = aapc_edge_loads(fig1)
+        assert loads[("s0", "s1")] == 9  # 3 * 3
+        assert loads[("s1", "s3")] == 8  # 2 * 4
+        assert loads[("s1", "n5")] == 5  # 1 * 5
+        assert loads[("n0", "s0")] == 5  # 1 * 5
+
+    def test_loads_symmetric(self, fig1):
+        """Tree property: both directions of a link carry equal load."""
+        loads = aapc_edge_loads(fig1)
+        for u, v in fig1.links:
+            assert loads[(u, v)] == loads[(v, u)]
+
+    def test_closed_form_matches_path_walk(self, fig1):
+        """|Mu|*|Mv| equals counting actual AAPC paths edge by edge."""
+        closed = aapc_edge_loads(fig1)
+        walked = pattern_edge_loads(
+            fig1, [m.as_tuple() for m in aapc_messages(fig1)]
+        )
+        assert closed == walked
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), nm=st.integers(2, 10), ns=st.integers(1, 4))
+    def test_closed_form_matches_path_walk_random(self, seed, nm, ns):
+        topo = random_tree(nm, ns, seed=seed)
+        closed = aapc_edge_loads(topo)
+        walked = pattern_edge_loads(
+            topo, [m.as_tuple() for m in aapc_messages(topo)]
+        )
+        assert closed == walked
+
+    def test_pattern_loads_rejects_self_message(self, fig1):
+        with pytest.raises(TopologyError):
+            pattern_edge_loads(fig1, [("n0", "n0")])
+
+    def test_partial_pattern(self, fig1):
+        loads = pattern_edge_loads(fig1, [("n0", "n3"), ("n1", "n3")])
+        assert loads[("s1", "s3")] == 2
+        assert loads[("s3", "n3")] == 2
+        assert loads[("s3", "s1")] == 0
+
+
+class TestBottlenecks:
+    def test_fig1(self, fig1):
+        assert aapc_load(fig1) == 9
+        undirected = {tuple(sorted(e)) for e in bottleneck_edges(fig1)}
+        assert undirected == {("s0", "s1")}
+
+    def test_single_switch(self):
+        topo = single_switch(24)
+        # machine links carry (|M|-1) each; all are bottlenecks
+        assert aapc_load(topo) == 23
+        assert len(bottleneck_edges(topo)) == 2 * 24
+
+    def test_topology_b(self, topo_b):
+        assert aapc_load(topo_b) == 8 * 24  # 192
+
+    def test_topology_c(self, topo_c):
+        assert aapc_load(topo_c) == 16 * 16  # 256
+
+
+class TestPeakThroughput:
+    """The 'Peak' lines of the paper's Figures 6(b), 7(b), 8(b)."""
+
+    def test_topology_a_2400_mbps(self):
+        peak = peak_aggregate_throughput(topology_a(), mbps(100))
+        assert peak * 8 / 1e6 == pytest.approx(2400.0)
+
+    def test_topology_b_516_mbps(self):
+        peak = peak_aggregate_throughput(topology_b(), mbps(100))
+        assert peak * 8 / 1e6 == pytest.approx(516.7, abs=0.05)
+
+    def test_topology_c_387_mbps(self):
+        peak = peak_aggregate_throughput(topology_c(), mbps(100))
+        assert peak * 8 / 1e6 == pytest.approx(387.5)
+
+    def test_fig1(self, fig1):
+        # 6*5*100/9 = 333.3 Mbps
+        peak = peak_aggregate_throughput(fig1, mbps(100))
+        assert peak * 8 / 1e6 == pytest.approx(333.33, abs=0.01)
+
+    def test_requires_two_machines(self):
+        with pytest.raises(TopologyError):
+            peak_aggregate_throughput(single_switch(1), mbps(100))
+
+
+class TestBestCaseTime:
+    def test_formula(self, fig1):
+        # load 9, 1 MB messages at 12.5 MB/s: 9 * 2^20 / 12.5e6 s
+        t = best_case_completion_time(fig1, 1 << 20, mbps(100))
+        assert t == pytest.approx(9 * (1 << 20) / 12.5e6)
+
+    def test_zero_size(self, fig1):
+        assert best_case_completion_time(fig1, 0, mbps(100)) == 0.0
+
+    def test_negative_size_rejected(self, fig1):
+        with pytest.raises(TopologyError):
+            best_case_completion_time(fig1, -1, mbps(100))

@@ -1,0 +1,201 @@
+"""Tests for the topology builders, including the paper's Figures 1 and 5."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.builder import (
+    chain_of_switches,
+    paper_example_cluster,
+    random_tree,
+    single_switch,
+    star_of_switches,
+    topology_a,
+    topology_b,
+    topology_c,
+    tree_from_spec,
+)
+
+
+class TestSingleSwitch:
+    def test_shape(self):
+        topo = single_switch(5)
+        assert topo.num_machines == 5
+        assert topo.num_switches == 1
+        assert all(topo.neighbors(m) == ("s0",) for m in topo.machines)
+
+    def test_custom_names(self):
+        topo = single_switch(2, switch="hub", prefix="host")
+        assert topo.machines == ("host0", "host1")
+        assert topo.switches == ("hub",)
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(TopologyError):
+            single_switch(0)
+
+
+class TestStarAndChain:
+    def test_star_shape(self):
+        topo = star_of_switches([2, 3, 1])
+        assert topo.num_machines == 6
+        assert topo.num_switches == 3
+        assert set(topo.neighbors("s0")) >= {"s1", "s2"}
+        assert topo.subtree_machines("s0", "s1") == ["n2", "n3", "n4"]
+
+    def test_star_hub_machines(self):
+        topo = star_of_switches([2, 1])
+        assert topo.subtree_machines("s1", "s0") == ["n0", "n1"]
+
+    def test_chain_shape(self):
+        topo = chain_of_switches([1, 1, 2])
+        assert topo.num_machines == 4
+        assert "s1" in topo.neighbors("s0")
+        assert "s2" in topo.neighbors("s1")
+        assert "s2" not in topo.neighbors("s0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            star_of_switches([])
+        with pytest.raises(TopologyError):
+            chain_of_switches([])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TopologyError):
+            chain_of_switches([2, -1])
+
+    def test_machine_ranks_group_by_switch(self):
+        topo = chain_of_switches([2, 2])
+        assert topo.subtree_machines("s1", "s0") == ["n0", "n1"]
+        assert topo.subtree_machines("s0", "s1") == ["n2", "n3"]
+
+
+class TestPaperExampleCluster:
+    def test_inventory(self):
+        topo = paper_example_cluster()
+        assert topo.machines == ("n0", "n1", "n2", "n3", "n4", "n5")
+        assert set(topo.switches) == {"s0", "s1", "s2", "s3"}
+
+    def test_root_candidate_subtrees(self):
+        """s1's subtrees are {n0,n1,n2}, {n3,n4}, {n5} as in Section 4.2."""
+        topo = paper_example_cluster()
+        assert topo.subtree_machines("s1", "s0") == ["n0", "n1", "n2"]
+        assert topo.subtree_machines("s1", "s3") == ["n3", "n4"]
+        assert topo.subtree_machines("s1", "n5") == ["n5"]
+
+    def test_n1_n2_behind_s2(self):
+        topo = paper_example_cluster()
+        assert topo.subtree_machines("s0", "s2") == ["n1", "n2"]
+
+
+class TestExperimentTopologies:
+    def test_topology_a(self):
+        topo = topology_a()
+        assert topo.num_machines == 24
+        assert topo.num_switches == 1
+
+    def test_topology_b_star(self):
+        topo = topology_b()
+        assert topo.num_machines == 32
+        assert topo.num_switches == 4
+        # star: s0 adjacent to every other switch
+        assert set(topo.neighbors("s0")) >= {"s1", "s2", "s3"}
+        for i in (1, 2, 3):
+            assert len(topo.subtree_machines("s0", f"s{i}")) == 8
+        hub_machines = [m for m in topo.machines if topo.neighbors(m) == ("s0",)]
+        assert len(hub_machines) == 8
+
+    def test_topology_c_chain(self):
+        topo = topology_c()
+        assert topo.num_machines == 32
+        assert "s2" in topo.neighbors("s1")
+        assert "s3" not in topo.neighbors("s1")
+
+
+class TestTreeFromSpec:
+    def test_nested(self):
+        topo = tree_from_spec(("s0", ["n0", ("s1", ["n1", "n2"]), "n3"]))
+        assert topo.num_machines == 4
+        assert topo.subtree_machines("s0", "s1") == ["n1", "n2"]
+
+    def test_machine_root_rejected(self):
+        with pytest.raises(TopologyError):
+            tree_from_spec("n0")
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(TopologyError):
+            tree_from_spec(("s0", [("s1",)]))  # type: ignore[arg-type]
+
+
+class TestTreeOfSwitches:
+    def test_depth_one_is_single_switch(self):
+        from repro.topology.builder import tree_of_switches
+
+        topo = tree_of_switches(3, 1, 4)
+        assert topo.num_switches == 1
+        assert topo.num_machines == 4
+
+    def test_balanced_counts(self):
+        from repro.topology.builder import tree_of_switches
+
+        topo = tree_of_switches(2, 3, 2)
+        # 1 + 2 + 4 switches, machines on the 4 leaves
+        assert topo.num_switches == 7
+        assert topo.num_machines == 8
+
+    def test_depth_reflected_in_paths(self):
+        from repro.topology.builder import tree_of_switches
+        from repro.topology.paths import PathOracle
+
+        topo = tree_of_switches(2, 3, 1)
+        oracle = PathOracle(topo)
+        machines = topo.machines
+        # machines under different depth-2 subtrees are 6 hops apart
+        assert oracle.hops(machines[0], machines[-1]) == 6
+
+    def test_schedules_correctly(self):
+        from repro.core.scheduler import schedule_aapc
+        from repro.core.verify import verify_schedule
+        from repro.topology.builder import tree_of_switches
+
+        topo = tree_of_switches(3, 2, 2)
+        schedule = schedule_aapc(topo, verify=False)
+        verify_schedule(schedule)
+
+    def test_rejects_bad_parameters(self):
+        from repro.topology.builder import tree_of_switches
+
+        with pytest.raises(TopologyError):
+            tree_of_switches(0, 2, 1)
+        with pytest.raises(TopologyError):
+            tree_of_switches(2, 0, 1)
+        with pytest.raises(TopologyError):
+            tree_of_switches(2, 2, 0)
+
+
+class TestRandomTree:
+    def test_validity_and_sizes(self):
+        topo = random_tree(10, 4, seed=7)
+        assert topo.validated
+        assert topo.num_machines == 10
+        assert topo.num_switches == 4
+
+    def test_deterministic_per_seed(self):
+        a = random_tree(8, 3, seed=42)
+        b = random_tree(8, 3, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        trees = {tuple(sorted(map(tuple, random_tree(8, 3, seed=s).links))) for s in range(10)}
+        assert len(trees) > 1
+
+    def test_accepts_external_rng(self):
+        rng = random.Random(1)
+        topo = random_tree(5, 2, rng=rng)
+        assert topo.num_machines == 5
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(TopologyError):
+            random_tree(0, 1)
+        with pytest.raises(TopologyError):
+            random_tree(1, 0)

@@ -1,0 +1,80 @@
+"""Tests for the physical wiring text format."""
+
+import pytest
+
+from repro.errors import TopologyFormatError
+from repro.topology.physical_format import (
+    dumps_physical,
+    load_physical,
+    loads_physical,
+)
+from repro.topology.spanning_tree import compute_spanning_tree
+
+WIRING = """
+# redundant core pair
+switch core1 priority=4096
+switch core2
+switch leaf1
+machine n0 leaf1
+machine n1 leaf1
+trunk core1 core2 cost=19
+trunk core1 core2
+trunk core1 leaf1
+trunk core2 leaf1 cost=38
+"""
+
+
+class TestParsing:
+    def test_parse(self):
+        net = loads_physical(WIRING)
+        assert net.switch_priority == {"core1": 4096, "core2": 32768, "leaf1": 32768}
+        assert net.machine_attachment == {"n0": "leaf1", "n1": "leaf1"}
+        assert len(net.switch_links) == 4
+        assert ("core2", "leaf1", 38) in net.switch_links
+
+    def test_feeds_stp(self):
+        result = compute_spanning_tree(loads_physical(WIRING))
+        assert result.root_bridge == "core1"
+        assert len(result.blocked_links) == 2
+        assert result.topology.num_machines == 2
+
+    def test_file_round_trip(self, tmp_path):
+        net = loads_physical(WIRING)
+        path = tmp_path / "wiring.phys"
+        path.write_text(dumps_physical(net))
+        again = load_physical(str(path))
+        assert again.switch_priority == net.switch_priority
+        assert again.machine_attachment == net.machine_attachment
+        assert again.switch_links == net.switch_links
+
+    def test_priority_preserved_in_dump(self):
+        text = dumps_physical(loads_physical(WIRING))
+        assert "priority=4096" in text
+        assert "cost=38" in text
+        # defaults stay implicit
+        assert "priority=32768" not in text
+        assert "cost=19" not in text
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line,match",
+        [
+            ("switch", "needs a name"),
+            ("switch s0 colour=red", "unknown switch option"),
+            ("machine n0", "NAME SWITCH"),
+            ("trunk s0", "two switches"),
+            ("router r0 r1", "unknown keyword"),
+        ],
+    )
+    def test_syntax_errors(self, line, match):
+        with pytest.raises(TopologyFormatError, match=match):
+            loads_physical("switch s0\n" + line + "\n")
+
+    def test_trunk_option_error(self):
+        with pytest.raises(TopologyFormatError, match="unknown trunk option"):
+            loads_physical("switch a\nswitch b\ntrunk a b speed=1\n")
+
+    def test_semantic_error_has_line(self):
+        with pytest.raises(TopologyFormatError, match="line 2"):
+            loads_physical("switch s0\nmachine n0 ghost\n")

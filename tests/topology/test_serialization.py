@@ -1,0 +1,89 @@
+"""Tests for the topology text format."""
+
+import io
+
+import pytest
+
+from repro.errors import TopologyFormatError
+from repro.topology.builder import paper_example_cluster, topology_b
+from repro.topology.serialization import (
+    dump_topology,
+    dumps_topology,
+    load_topology,
+    loads_topology,
+)
+
+FIG1_TEXT = """
+# the paper's Figure 1 cluster
+switch s0 s1 s2 s3
+machine n0 n1 n2 n3 n4 n5
+link s0 n0
+link s0 s2
+link s2 n1
+link s2 n2
+link s1 s0
+link s1 s3
+link s3 n3
+link s3 n4
+link s1 n5
+"""
+
+
+class TestParsing:
+    def test_parse_fig1(self, fig1):
+        assert loads_topology(FIG1_TEXT) == fig1
+
+    def test_comments_and_blank_lines(self):
+        topo = loads_topology(
+            "switch s0  # trailing comment\n\nmachine n0\nlink s0 n0\n"
+        )
+        assert topo.num_machines == 1
+
+    def test_keywords_case_insensitive(self):
+        topo = loads_topology("SWITCH s0\nMachine n0\nLINK s0 n0\n")
+        assert topo.num_machines == 1
+
+    def test_rank_order_is_declaration_order(self):
+        topo = loads_topology(
+            "switch s0\nmachine b a\nlink s0 b\nlink s0 a\n"
+        )
+        assert topo.machines == ("b", "a")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(TopologyFormatError, match="line 1"):
+            loads_topology("router r0\n")
+
+    def test_link_arity(self):
+        with pytest.raises(TopologyFormatError, match="two endpoints"):
+            loads_topology("switch s0 s1\nlink s0\n")
+
+    def test_empty_declaration(self):
+        with pytest.raises(TopologyFormatError, match="at least one name"):
+            loads_topology("switch\n")
+
+    def test_duplicate_node_reports_line(self):
+        with pytest.raises(TopologyFormatError, match="line 2"):
+            loads_topology("switch s0\nswitch s0\n")
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(TopologyFormatError, match="invalid topology"):
+            loads_topology("switch s0 s1\nmachine n0\nlink s0 n0\n")
+
+
+class TestRoundTrip:
+    def test_fig1_round_trip(self, fig1):
+        assert loads_topology(dumps_topology(fig1)) == fig1
+
+    def test_topology_b_round_trip(self):
+        topo = topology_b()
+        assert loads_topology(dumps_topology(topo)) == topo
+
+    def test_file_round_trip(self, tmp_path, fig1):
+        path = str(tmp_path / "cluster.topo")
+        dump_topology(fig1, path)
+        assert load_topology(path) == fig1
+
+    def test_stream_round_trip(self, fig1):
+        buf = io.StringIO()
+        dump_topology(fig1, buf)
+        assert load_topology(io.StringIO(buf.getvalue())) == fig1

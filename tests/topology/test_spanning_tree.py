@@ -1,0 +1,177 @@
+"""Tests for the 802.1D spanning-tree substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import schedule_aapc
+from repro.errors import TopologyError
+from repro.topology.spanning_tree import (
+    BridgeId,
+    PhysicalNetwork,
+    SpanningTreeResult,
+    compute_spanning_tree,
+)
+
+
+def triangle(costs=(19, 19, 19), priorities=(32768, 32768, 32768)):
+    """Three switches in a cycle, one machine each."""
+    net = PhysicalNetwork()
+    for i, prio in enumerate(priorities):
+        net.add_switch(f"s{i}", prio)
+    for i in range(3):
+        net.add_machine(f"n{i}", f"s{i}")
+    net.add_link("s0", "s1", costs[0])
+    net.add_link("s1", "s2", costs[1])
+    net.add_link("s2", "s0", costs[2])
+    return net
+
+
+class TestElection:
+    def test_lowest_bridge_id_wins(self):
+        net = triangle(priorities=(32768, 4096, 32768))
+        result = compute_spanning_tree(net)
+        assert result.root_bridge == "s1"
+
+    def test_name_breaks_priority_tie(self):
+        net = triangle()
+        result = compute_spanning_tree(net)
+        assert result.root_bridge == "s0"
+
+    def test_bridge_id_ordering(self):
+        assert BridgeId(4096, "z") < BridgeId(32768, "a")
+        assert BridgeId(4096, "a") < BridgeId(4096, "b")
+
+
+class TestLoopBreaking:
+    def test_one_link_blocked_in_triangle(self):
+        result = compute_spanning_tree(triangle())
+        assert len(result.forwarding_links) == 2
+        assert len(result.blocked_links) == 1
+        # root s0: both its links forward; the far link s1-s2 blocks
+        blocked = result.blocked_links[0]
+        assert {blocked[0], blocked[1]} == {"s1", "s2"}
+
+    def test_costs_steer_blocking(self):
+        # make s1-s2 the cheap path so a root link blocks instead
+        net = triangle(costs=(19, 1, 100))
+        result = compute_spanning_tree(net)
+        blocked = result.blocked_links[0]
+        assert {blocked[0], blocked[1]} == {"s2", "s0"}
+        assert result.root_path_cost == {"s0": 0, "s1": 19, "s2": 20}
+
+    def test_parallel_links_keep_one(self):
+        net = PhysicalNetwork()
+        net.add_switch("s0")
+        net.add_switch("s1")
+        net.add_machine("n0", "s0")
+        net.add_machine("n1", "s1")
+        net.add_link("s0", "s1", 19)
+        net.add_link("s0", "s1", 19)  # redundant uplink
+        result = compute_spanning_tree(net)
+        assert len(result.forwarding_links) == 1
+        assert len(result.blocked_links) == 1
+
+    def test_lowest_port_breaks_equal_cost_tie(self):
+        net = PhysicalNetwork()
+        net.add_switch("s0")
+        net.add_switch("s1")
+        net.add_machine("n0", "s0")
+        net.add_link("s0", "s1", 19)  # link 0 wins the port tie-break
+        net.add_link("s0", "s1", 19)
+        result = compute_spanning_tree(net)
+        assert len(result.forwarding_links) == 1
+        assert result.forwarding_links[0] == ("s0", "s1", 19)
+
+
+class TestResultTopology:
+    def test_topology_is_valid_tree(self):
+        result = compute_spanning_tree(triangle())
+        topo = result.topology
+        assert topo.validated
+        assert topo.num_machines == 3
+        assert topo.num_switches == 3
+
+    def test_machines_keep_declaration_order(self):
+        net = triangle()
+        assert compute_spanning_tree(net).topology.machines == ("n0", "n1", "n2")
+
+    def test_feeds_the_scheduler(self):
+        """The paper's pipeline: physical wiring -> STP -> schedule."""
+        net = triangle()
+        topo = compute_spanning_tree(net).topology
+        schedule = schedule_aapc(topo)
+        assert schedule.num_phases >= 1
+
+
+class TestValidation:
+    def test_empty_network(self):
+        with pytest.raises(TopologyError, match="no switches"):
+            compute_spanning_tree(PhysicalNetwork())
+
+    def test_partitioned_fabric(self):
+        net = PhysicalNetwork()
+        net.add_switch("s0")
+        net.add_switch("s1")
+        net.add_machine("n0", "s0")
+        net.add_machine("n1", "s1")
+        with pytest.raises(TopologyError, match="partitioned"):
+            compute_spanning_tree(net)
+
+    def test_duplicate_names_rejected(self):
+        net = PhysicalNetwork()
+        net.add_switch("s0")
+        with pytest.raises(TopologyError):
+            net.add_switch("s0")
+        with pytest.raises(TopologyError):
+            net.add_machine("s0", "s0")
+
+    def test_machine_needs_known_switch(self):
+        net = PhysicalNetwork()
+        with pytest.raises(TopologyError):
+            net.add_machine("n0", "ghost")
+
+    def test_self_link_rejected(self):
+        net = PhysicalNetwork()
+        net.add_switch("s0")
+        with pytest.raises(TopologyError):
+            net.add_link("s0", "s0")
+
+    def test_nonpositive_cost_rejected(self):
+        net = PhysicalNetwork()
+        net.add_switch("s0")
+        net.add_switch("s1")
+        with pytest.raises(TopologyError):
+            net.add_link("s0", "s1", 0)
+
+
+class TestRandomFabrics:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_always_yields_valid_tree(self, data):
+        """Random connected fabrics with redundant links and random
+        priorities always reduce to a valid forwarding tree with
+        exactly (num_switches - 1) active switch links."""
+        n_switches = data.draw(st.integers(1, 7))
+        net = PhysicalNetwork()
+        for i in range(n_switches):
+            net.add_switch(f"s{i}", data.draw(st.sampled_from([4096, 32768, 61440])))
+        # spanning chain keeps it connected
+        for i in range(1, n_switches):
+            net.add_link(f"s{i - 1}", f"s{i}", data.draw(st.integers(1, 30)))
+        # plus random redundant links
+        extra = data.draw(st.integers(0, 6))
+        for _ in range(extra):
+            a = data.draw(st.integers(0, n_switches - 1))
+            b = data.draw(st.integers(0, n_switches - 1))
+            if a != b:
+                net.add_link(f"s{a}", f"s{b}", data.draw(st.integers(1, 30)))
+        n_machines = data.draw(st.integers(1, 6))
+        for m in range(n_machines):
+            net.add_machine(f"n{m}", f"s{data.draw(st.integers(0, n_switches - 1))}")
+        result = compute_spanning_tree(net)
+        assert len(result.forwarding_links) == n_switches - 1
+        assert result.topology.validated
+        assert result.root_path_cost[result.root_bridge] == 0
+        # every non-root switch pays positive cost to reach the root
+        for s, cost in result.root_path_cost.items():
+            assert (cost == 0) == (s == result.root_bridge)
