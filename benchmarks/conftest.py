@@ -58,6 +58,50 @@ def emit(capsys):
     return _emit
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Emit ``out/BENCH_simulator.json`` after every benchmark session.
+
+    A fixed, fast simulator workload — the scheduled routine and the
+    naive LAM baseline on topology (a) at 64 KB, seed 0 — run under the
+    flight recorder.  Completion time, engine event count and the
+    link-utilization/contention stats land in one JSON artifact so the
+    performance trajectory (and the contention-free invariant) is
+    tracked across PRs by diffing the file.
+    """
+    import json
+
+    from repro.algorithms import get_algorithm
+    from repro.harness.metrics import summarize_links
+    from repro.sim.executor import run_programs
+    from repro.sim.params import NetworkParams
+    from repro.topology.builder import topology_a
+
+    topo = topology_a()
+    msize = 64 * 1024
+    params = NetworkParams(seed=0)
+    payload: Dict[str, object] = {
+        "benchmark": "simulator",
+        "topology": "a",
+        "msize": msize,
+        "seed": 0,
+        "algorithms": {},
+    }
+    for name in ("scheduled", "lam"):
+        programs = get_algorithm(name).build_programs(topo, msize)
+        run = run_programs(topo, programs, msize, params, telemetry=True)
+        stats = summarize_links(run.telemetry)
+        payload["algorithms"][name] = {
+            "completion_ms": run.completion_time * 1e3,
+            "engine_events": run.events_processed,
+            "peak_concurrent_flows": run.peak_concurrent_flows,
+            **stats.as_dict(),
+        }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_simulator.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
 def figure_report(result: ExperimentResult, experiment: Experiment) -> str:
     """Completion table + throughput table + text plot + speedups + shape."""
     parts = [

@@ -32,6 +32,8 @@ _FACTORIES: Dict[str, Callable[[], AlltoallAlgorithm]] = {
     "mpich-ring": RingAlltoall,
     "bruck": BruckAlltoall,
     "generated": GeneratedAlltoall,
+    # Alias: the paper calls the generated routine the *scheduled* one.
+    "scheduled": GeneratedAlltoall,
     "generated-barrier": lambda: GeneratedAlltoall(sync_mode="barrier"),
     "generated-nosync": lambda: GeneratedAlltoall(sync_mode="none"),
 }

@@ -77,8 +77,13 @@ class Communicator:
         algorithm: str = "generated",
         seed: Optional[int] = None,
         trace: bool = False,
+        telemetry: bool = False,
     ) -> RunResult:
-        """Run MPI_Alltoall with *msize* bytes per pair."""
+        """Run MPI_Alltoall with *msize* bytes per pair.
+
+        *telemetry* attaches the flight-recorder bundle
+        (:class:`~repro.obs.telemetry.RunTelemetry`) to the result.
+        """
         key = (algorithm, msize)
         programs = self._program_cache.get(key)
         if programs is None:
@@ -86,7 +91,7 @@ class Communicator:
                 self.topology, msize
             )
             self._program_cache[key] = programs
-        return self._run(programs, msize, seed=seed, trace=trace)
+        return self._run(programs, msize, seed=seed, trace=trace, telemetry=telemetry)
 
     def alltoallv(
         self,
@@ -162,6 +167,7 @@ class Communicator:
         seed: Optional[int],
         expected=None,
         trace: bool = False,
+        telemetry: bool = False,
     ) -> RunResult:
         params = self.params if seed is None else self.params.with_seed(seed)
         return run_programs(
@@ -173,4 +179,5 @@ class Communicator:
             expected_blocks=expected,
             link_bandwidths=self.link_bandwidths,
             trace=trace,
+            telemetry=telemetry,
         )

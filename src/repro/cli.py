@@ -6,6 +6,7 @@ Subcommands mirror the workflow of the paper's routine generator:
 * ``schedule`` — print the contention-free phased schedule (Table 4 style).
 * ``codegen``  — emit the customized MPI_Alltoall C routine.
 * ``simulate`` — run one algorithm on the simulator, report timing.
+* ``trace``    — flight-recorder run: Perfetto trace + metrics JSON.
 * ``repro``    — regenerate a paper experiment table (Figures 6-8).
 
 Topology input is the text format of
@@ -126,21 +127,94 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_topology_arg(args: argparse.Namespace) -> Optional[str]:
+    """Topology from ``--topology`` or the positional (flag wins)."""
+    spec = getattr(args, "topology_opt", None) or args.topology
+    return spec
+
+
+def _derived_path(path: str, name: str, multiple: bool) -> str:
+    """``out.json`` → ``out-lam.json`` when several algorithms run."""
+    if not multiple:
+        return path
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}-{name}"
+    return f"{stem}-{name}.{ext}"
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    topo = _load_topology(args.topology)
+    spec = _resolve_topology_arg(args)
+    if spec is None:
+        print("simulate: a topology is required (positional or --topology)",
+              file=sys.stderr)
+        return 2
+    topo = _load_topology(spec)
     msize = parse_size(args.msize)
     params = NetworkParams(seed=args.seed)
-    for name in args.algorithms:
+    names = [args.algorithm] if args.algorithm else args.algorithms
+    want_telemetry = bool(args.trace_out or args.metrics_out)
+    multiple = len(names) > 1
+    for name in names:
         algorithm = get_algorithm(name)
         programs = algorithm.build_programs(topo, msize)
-        result = run_programs(topo, programs, msize, params)
+        result = run_programs(
+            topo, programs, msize, params, telemetry=want_telemetry
+        )
         throughput = result.aggregate_throughput(topo.num_machines, msize)
-        print(
+        line = (
             f"{algorithm.describe(topo, msize):28s} "
             f"{seconds_to_ms(result.completion_time):9.2f} ms   "
             f"{bytes_per_sec_to_mbps(throughput):8.1f} Mbps agg   "
             f"max link multiplexing {result.max_edge_multiplexing}"
         )
+        if result.telemetry is not None:
+            verdict = (
+                "contention-free"
+                if result.telemetry.contention_free_verified
+                else f"{result.telemetry.total_contention_events} contention events"
+            )
+            line += f"   [{verdict}]"
+        print(line)
+        if args.trace_out:
+            path = _derived_path(args.trace_out, name, multiple)
+            result.telemetry.write_perfetto(path)
+            print(f"  wrote Perfetto trace {path}")
+        if args.metrics_out:
+            path = _derived_path(args.metrics_out, name, multiple)
+            result.telemetry.write_metrics(path)
+            print(f"  wrote metrics {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    algorithm = get_algorithm(args.algorithm)
+    programs = algorithm.build_programs(topo, msize)
+    result = run_programs(
+        topo, programs, msize, NetworkParams(seed=args.seed), telemetry=True
+    )
+    telemetry = result.telemetry
+    print(f"{algorithm.describe(topo, msize)} on {args.topology}, "
+          f"msize {args.msize}: flight recorder")
+    print(telemetry.summary())
+    if args.phases:
+        print()
+        for phase in telemetry.health.phases:
+            print(
+                f"  phase {phase.phase:>3}: "
+                f"[{seconds_to_ms(phase.start):8.2f}, "
+                f"{seconds_to_ms(phase.end):8.2f}] ms  "
+                f"sync wait {seconds_to_ms(phase.sync_wait):7.2f} ms  "
+                f"drift {seconds_to_ms(phase.drift):6.2f} ms  "
+                f"bottleneck {phase.bottleneck_rank}"
+            )
+    telemetry.write_perfetto(args.out)
+    print(f"wrote Perfetto trace {args.out} (open at ui.perfetto.dev)")
+    if args.metrics_out:
+        telemetry.write_metrics(args.metrics_out)
+        print(f"wrote metrics {args.metrics_out}")
     return 0
 
 
@@ -228,7 +302,35 @@ def _cmd_repro(args: argparse.Namespace) -> int:
         return 2
     print(f"# {experiment.name}: {experiment.description}")
     sizes = [parse_size(s) for s in args.sizes] if args.sizes else None
-    result = experiment.run(sizes=sizes, repetitions=args.repetitions)
+    result = experiment.run(
+        sizes=sizes,
+        repetitions=args.repetitions,
+        telemetry=bool(args.metrics_out),
+    )
+    if args.metrics_out:
+        import json
+
+        cells = [
+            {
+                "algorithm": p.algorithm,
+                "variant": p.variant,
+                "msize": p.msize,
+                "mean_time_ms": p.mean_time * 1e3,
+                "min_time_ms": p.min_time * 1e3,
+                "max_time_ms": p.max_time * 1e3,
+                "throughput_mbps": p.throughput_mbps,
+                "peak_concurrent_flows": p.peak_concurrent_flows,
+                "max_edge_multiplexing": p.max_edge_multiplexing,
+                "link_stats": p.link_stats.as_dict() if p.link_stats else None,
+            }
+            for p in result.points
+        ]
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"experiment": experiment.name, "cells": cells}, fh, indent=2
+            )
+            fh.write("\n")
+        print(f"wrote metrics {args.metrics_out}")
     print(completion_table(result, reference=experiment.reference))
     print()
     print(throughput_table(result))
@@ -268,7 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_codegen)
 
     p = sub.add_parser("simulate", help="simulate algorithms on a topology")
-    p.add_argument("topology")
+    p.add_argument("topology", nargs="?", default=None,
+                   help="file path or builtin: a, b, c, fig1")
+    p.add_argument("--topology", dest="topology_opt", default=None,
+                   help="alternative to the positional topology")
     p.add_argument("--msize", default="64KB", help="per-pair message size")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -277,7 +382,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=["lam", "mpich", "generated"],
         choices=available_algorithms(),
     )
+    p.add_argument("--algorithm", default=None, choices=available_algorithms(),
+                   help="run a single algorithm (overrides --algorithms)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace JSON per algorithm")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a link/flow metrics JSON per algorithm")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "trace", help="flight-recorder run: Perfetto trace + metrics"
+    )
+    p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
+    p.add_argument("--algorithm", default="generated",
+                   choices=available_algorithms())
+    p.add_argument("--msize", default="64KB")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--out", default="trace.json",
+                   help="Perfetto trace output path")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="also write the metrics JSON report")
+    p.add_argument("--phases", action="store_true",
+                   help="also print per-phase health rows")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "stp", help="reduce a redundant physical wiring to its forwarding tree"
@@ -322,6 +449,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", nargs="*", default=None, help="e.g. 8KB 64KB")
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--plot", action="store_true", help="text throughput plot")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write per-cell metrics incl. link stats as JSON")
     p.set_defaults(func=_cmd_repro)
     return parser
 

@@ -65,6 +65,7 @@ class Experiment:
         *,
         sizes: Optional[Sequence[int]] = None,
         repetitions: Optional[int] = None,
+        telemetry: bool = False,
     ) -> ExperimentResult:
         topology = self.topology_factory()
         algorithms = [factory() for factory in self.algorithm_factories]
@@ -72,7 +73,10 @@ class Experiment:
             sizes if sizes is not None else self.sizes,
             repetitions=repetitions if repetitions is not None else self.repetitions,
         )
-        return run_experiment(self.name, topology, algorithms, workloads, params)
+        return run_experiment(
+            self.name, topology, algorithms, workloads, params,
+            telemetry=telemetry,
+        )
 
 
 _COMPARISON = (LamAlltoall, MpichSelector, GeneratedAlltoall)

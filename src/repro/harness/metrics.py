@@ -1,14 +1,19 @@
-"""Metrics the paper reports: completion time, aggregate throughput, speedup."""
+"""Metrics the paper reports — completion time, aggregate throughput,
+speedup — plus link-level summaries from the flight recorder."""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.topology.analysis import peak_aggregate_throughput
 from repro.topology.graph import Topology
 from repro.units import bytes_per_sec_to_mbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import RunTelemetry
 
 
 def aggregate_throughput_mbps(
@@ -44,3 +49,43 @@ def completion_stats(samples: Sequence[float]) -> Tuple[float, float, float]:
     if not samples:
         raise ReproError("no samples")
     return (sum(samples) / len(samples), min(samples), max(samples))
+
+
+@dataclass(frozen=True)
+class LinkSummary:
+    """Condensed link-level telemetry for one experiment cell."""
+
+    #: Highest mean raw-line utilization over all directed links.
+    max_utilization: float
+    #: Mean of per-link busy fractions (how evenly the run keeps links hot).
+    mean_busy_fraction: float
+    #: Over-subscription events summed over all links (0 = contention-free).
+    total_contention_events: int
+    #: Peak concurrent flows on any single link.
+    max_concurrent_flows: int
+    #: Empirical verdict of the paper's Theorem for this run.
+    contention_free: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "max_link_utilization": self.max_utilization,
+            "mean_link_busy_fraction": self.mean_busy_fraction,
+            "total_contention_events": self.total_contention_events,
+            "max_concurrent_flows_any_link": self.max_concurrent_flows,
+            "contention_free_verified": self.contention_free,
+        }
+
+
+def summarize_links(telemetry: "RunTelemetry") -> LinkSummary:
+    """Condense a run's link report into a :class:`LinkSummary`."""
+    links = telemetry.links.links.values()
+    mean_busy = (
+        sum(l.busy_fraction for l in links) / len(links) if links else 0.0
+    )
+    return LinkSummary(
+        max_utilization=telemetry.links.max_utilization,
+        mean_busy_fraction=mean_busy,
+        total_contention_events=telemetry.links.total_contention_events,
+        max_concurrent_flows=telemetry.links.max_concurrent_any_link,
+        contention_free=telemetry.links.contention_free,
+    )

@@ -12,7 +12,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import AlltoallAlgorithm
 from repro.errors import ReproError
-from repro.harness.metrics import aggregate_throughput_mbps, completion_stats
+from repro.harness.metrics import (
+    LinkSummary,
+    aggregate_throughput_mbps,
+    completion_stats,
+    summarize_links,
+)
 from repro.harness.workloads import Workload
 from repro.sim.executor import run_programs
 from repro.sim.params import NetworkParams
@@ -35,6 +40,9 @@ class MeasurementPoint:
     throughput_mbps: float
     peak_concurrent_flows: int
     max_edge_multiplexing: int
+    #: Link-level telemetry from the first repetition, when the
+    #: experiment ran with ``telemetry=True`` (None otherwise).
+    link_stats: Optional[LinkSummary] = None
 
 
 @dataclass
@@ -81,8 +89,15 @@ def run_experiment(
     params: Optional[NetworkParams] = None,
     *,
     check_delivery: bool = True,
+    telemetry: bool = False,
 ) -> ExperimentResult:
-    """Simulate every (algorithm, workload) cell and average repetitions."""
+    """Simulate every (algorithm, workload) cell and average repetitions.
+
+    With *telemetry* on, the first repetition of each cell runs under
+    the flight recorder and its link-level summary is attached to the
+    cell's :class:`MeasurementPoint` (one instrumented run per cell
+    keeps the grid cost flat).
+    """
     if params is None:
         params = NetworkParams()
     oracle = PathOracle(topology)
@@ -94,7 +109,8 @@ def run_experiment(
             samples: List[float] = []
             peak_flows = 0
             max_mux = 0
-            for seed in workload.seeds():
+            link_stats: Optional[LinkSummary] = None
+            for i, seed in enumerate(workload.seeds()):
                 run = run_programs(
                     topology,
                     programs,
@@ -102,10 +118,13 @@ def run_experiment(
                     params.with_seed(seed),
                     oracle=oracle,
                     check_delivery=check_delivery,
+                    telemetry=telemetry and i == 0,
                 )
                 samples.append(run.completion_time)
                 peak_flows = max(peak_flows, run.peak_concurrent_flows)
                 max_mux = max(max_mux, run.max_edge_multiplexing)
+                if run.telemetry is not None:
+                    link_stats = summarize_links(run.telemetry)
             mean, lo, hi = completion_stats(samples)
             result.points.append(
                 MeasurementPoint(
@@ -121,6 +140,7 @@ def run_experiment(
                     ),
                     peak_concurrent_flows=peak_flows,
                     max_edge_multiplexing=max_mux,
+                    link_stats=link_stats,
                 )
             )
     return result

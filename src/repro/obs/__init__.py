@@ -1,0 +1,65 @@
+"""Flight-recorder observability for the cluster simulator.
+
+The simulator's argument — and the paper's — is about *contention
+structure*: the generated routine wins because every phase is
+contention-free and pair-wise syncs keep phases from bleeding into each
+other.  This package makes that structure observable at run time:
+
+* :mod:`repro.obs.bus` — a typed publish/subscribe event bus the
+  simulator publishes to (flow lifecycle, per-link occupancy changes,
+  per-rank operation records).
+* :mod:`repro.obs.link_metrics` — turns bus events into per-link busy
+  time, utilization, peak multiplexing and an over-subscription
+  (contention) event counter, plus per-flow achieved-rate records.
+* :mod:`repro.obs.diagnostics` — schedule health: per-phase sync wait,
+  phase drift/overlap, critical-path extraction, and an *empirical*
+  contention-free verdict from observed link occupancy (independent of
+  the static check in :mod:`repro.core.verify`).
+* :mod:`repro.obs.perfetto` — Chrome/Perfetto ``trace_event`` JSON
+  export: one track per rank, one counter track per link.
+* :mod:`repro.obs.telemetry` — :class:`RunTelemetry`, the bundle the
+  executor returns when telemetry is requested, with JSON export.
+
+Run with ``run_programs(..., telemetry=True)`` or from the CLI:
+``repro-aapc trace <topology>``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.bus import (
+    EventBus,
+    FlowFinished,
+    FlowStarted,
+    LinkOccupancy,
+)
+from repro.obs.diagnostics import (
+    CriticalStep,
+    PhaseHealth,
+    ScheduleHealth,
+    schedule_health,
+)
+from repro.obs.link_metrics import (
+    FlowRecord,
+    LinkMetricsCollector,
+    LinkMetricsReport,
+    LinkReport,
+)
+from repro.obs.perfetto import perfetto_trace, write_perfetto
+from repro.obs.telemetry import EngineStats, RunTelemetry
+
+__all__ = [
+    "EventBus",
+    "FlowStarted",
+    "FlowFinished",
+    "LinkOccupancy",
+    "LinkMetricsCollector",
+    "LinkMetricsReport",
+    "LinkReport",
+    "FlowRecord",
+    "PhaseHealth",
+    "CriticalStep",
+    "ScheduleHealth",
+    "schedule_health",
+    "perfetto_trace",
+    "write_perfetto",
+    "RunTelemetry",
+    "EngineStats",
+]

@@ -1,0 +1,102 @@
+"""A typed publish/subscribe event bus for simulator telemetry.
+
+The simulator publishes small frozen dataclass events; consumers
+subscribe per event *type*.  Dispatch is a dict lookup on
+``type(event)`` — O(1) per publish, and a bus with no subscribers for a
+type costs one failed lookup.  Producers that want a true zero-cost
+disabled path should keep ``bus = None`` and guard the publish site
+(this is what :mod:`repro.sim.executor` and :mod:`repro.sim.network`
+do), so no event object is even constructed when telemetry is off.
+
+The bus is deliberately synchronous and unbuffered: handlers run inline
+at publish time, in subscription order, at the simulated instant the
+event happened.  That makes consumers like the link-metrics integrator
+trivially correct — they see every occupancy change in time order.
+
+Event vocabulary (the executor additionally publishes
+:class:`repro.sim.trace.TraceRecord` instances for per-rank operations;
+the bus is type-keyed, so any dataclass works as an event):
+
+* :class:`FlowStarted` — a network flow was injected.
+* :class:`FlowFinished` — a flow drained its last byte.
+* :class:`LinkOccupancy` — a directed edge's concurrent-flow count
+  changed (one event per edge per change, *after* the change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+#: A directed edge (tail, head) — same convention as repro.topology.
+Edge = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FlowStarted:
+    """A transfer entered the network."""
+
+    time: float
+    fid: int
+    src: str
+    dst: str
+    nbytes: float
+    #: The directed edges of the flow's (unique) tree path.
+    path: Tuple[Edge, ...]
+
+
+@dataclass(frozen=True)
+class FlowFinished:
+    """A transfer's last byte arrived."""
+
+    time: float
+    fid: int
+    src: str
+    dst: str
+    nbytes: float
+    start_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.time - self.start_time
+
+
+@dataclass(frozen=True)
+class LinkOccupancy:
+    """A directed edge's concurrent-flow count changed to *count*."""
+
+    time: float
+    edge: Edge
+    count: int
+
+
+Handler = Callable[[Any], None]
+
+
+class EventBus:
+    """Synchronous type-keyed publish/subscribe."""
+
+    __slots__ = ("_handlers", "events_published")
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type[Any], List[Handler]] = {}
+        self.events_published = 0
+
+    def subscribe(self, event_type: Type[Any], handler: Handler) -> None:
+        """Run *handler(event)* for every published event of *event_type*.
+
+        Handlers for one type run in subscription order.  Subtypes do
+        not inherit subscriptions (dispatch is on the exact class).
+        """
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event: Any) -> None:
+        """Deliver *event* to its type's subscribers, inline."""
+        self.events_published += 1
+        handlers = self._handlers.get(type(event))
+        if handlers:
+            for handler in handlers:
+                handler(event)
+
+    def has_subscribers(self, event_type: Type[Any]) -> bool:
+        return bool(self._handlers.get(event_type))

@@ -1,0 +1,168 @@
+"""Schedule-health diagnostics computed from an execution trace.
+
+Where :mod:`repro.core.verify` checks the *static* claim (no two
+messages of a phase share a link), this module checks the *dynamic*
+one: what actually happened on the simulated wire.
+
+* **Per-phase sync wait** — seconds ranks spent blocked in
+  ``sync_wait`` before the matching ``sync_recv`` arrived.  Nonzero
+  only for synchronized programs; it is the price paid to keep phases
+  from bleeding into each other.
+* **Per-phase drift** — the spread of per-rank first-activity times
+  within the phase.  Unsynchronized noisy runs drift apart; pair-wise
+  synchronized runs stay tight.
+* **Phase overlap** — fraction of consecutive phase pairs whose spans
+  overlap (pipelining depth; see
+  :func:`repro.sim.gantt.phase_overlap_fraction` for why overlap alone
+  is not contention).
+* **Critical path** — per phase, the rank whose last activity closes
+  the phase; the chain of these bottleneck ranks is the run's
+  phase-granularity critical path.
+* **Contention-free verified** — the empirical verdict from observed
+  link occupancy (via :class:`repro.obs.link_metrics.LinkMetricsReport`):
+  ``True`` iff no directed link ever carried two concurrent flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.link_metrics import LinkMetricsReport
+
+
+@dataclass(frozen=True)
+class PhaseHealth:
+    """Observed health of one schedule phase."""
+
+    phase: int
+    start: float
+    end: float
+    #: Total seconds ranks spent blocked on this phase's sync messages.
+    sync_wait: float
+    #: Spread (max - min) of per-rank first activity in the phase.
+    drift: float
+    #: Rank whose last activity closes the phase.
+    bottleneck_rank: str
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "start_ms": self.start * 1e3,
+            "end_ms": self.end * 1e3,
+            "span_ms": self.span * 1e3,
+            "sync_wait_ms": self.sync_wait * 1e3,
+            "drift_ms": self.drift * 1e3,
+            "bottleneck_rank": self.bottleneck_rank,
+        }
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One step of the phase-granularity critical path."""
+
+    phase: int
+    rank: str
+    end: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"phase": self.phase, "rank": self.rank, "end_ms": self.end * 1e3}
+
+
+@dataclass
+class ScheduleHealth:
+    """Aggregate diagnostics for one run."""
+
+    phases: List[PhaseHealth]
+    critical_path: List[CriticalStep]
+    overlap_fraction: float
+    #: Empirical contention verdict; None when no link data was collected.
+    contention_free_verified: Optional[bool]
+
+    @property
+    def total_sync_wait(self) -> float:
+        return sum(p.sync_wait for p in self.phases)
+
+    @property
+    def max_drift(self) -> float:
+        if not self.phases:
+            return 0.0
+        return max(p.drift for p in self.phases)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "contention_free_verified": self.contention_free_verified,
+            "total_sync_wait_ms": self.total_sync_wait * 1e3,
+            "max_phase_drift_ms": self.max_drift * 1e3,
+            "phase_overlap_fraction": self.overlap_fraction,
+            "phases": [p.as_dict() for p in self.phases],
+            "critical_path": [s.as_dict() for s in self.critical_path],
+        }
+
+
+def _sync_waits_by_phase(trace: Trace) -> Dict[int, float]:
+    """Pair sync_wait/sync_recv records and total the wait per phase."""
+    pending: Dict[Tuple[str, str, int], float] = {}
+    waits: Dict[int, float] = {}
+    for r in trace.records:
+        key = (r.rank, r.peer, r.tag)
+        if r.what == "sync_wait":
+            pending[key] = r.time
+        elif r.what == "sync_recv":
+            posted = pending.pop(key, None)
+            if posted is not None:
+                waits[r.phase] = waits.get(r.phase, 0.0) + (r.time - posted)
+    return waits
+
+
+def schedule_health(
+    trace: Trace, links: "Optional[LinkMetricsReport]" = None
+) -> ScheduleHealth:
+    """Compute :class:`ScheduleHealth` from a phase-tagged trace.
+
+    Works on any trace; runs without phase tags yield empty phase lists.
+    Pass the run's link report to fill the empirical contention verdict.
+    """
+    from repro.sim.gantt import phase_overlap_fraction
+
+    sync_waits = _sync_waits_by_phase(trace)
+    phases: List[PhaseHealth] = []
+    critical: List[CriticalStep] = []
+    for phase in sorted(trace.phase_spans()):
+        records = trace.of_phase(phase)
+        start = min(r.time for r in records)
+        end = max(r.time for r in records)
+        first_by_rank: Dict[str, float] = {}
+        last: Optional[Tuple[float, str]] = None
+        for r in records:
+            if r.rank not in first_by_rank or r.time < first_by_rank[r.rank]:
+                first_by_rank[r.rank] = r.time
+            if last is None or r.time >= last[0]:
+                last = (r.time, r.rank)
+        firsts = list(first_by_rank.values())
+        drift = max(firsts) - min(firsts) if len(firsts) > 1 else 0.0
+        assert last is not None  # records is non-empty
+        phases.append(
+            PhaseHealth(
+                phase=phase,
+                start=start,
+                end=end,
+                sync_wait=sync_waits.get(phase, 0.0),
+                drift=drift,
+                bottleneck_rank=last[1],
+            )
+        )
+        critical.append(CriticalStep(phase=phase, rank=last[1], end=end))
+    return ScheduleHealth(
+        phases=phases,
+        critical_path=critical,
+        overlap_fraction=phase_overlap_fraction(trace),
+        contention_free_verified=(links.contention_free if links is not None else None),
+    )

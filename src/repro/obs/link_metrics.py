@@ -1,0 +1,232 @@
+"""Per-link and per-flow metrics, integrated from bus events.
+
+:class:`LinkMetricsCollector` subscribes to the flow-lifecycle and
+link-occupancy events the network publishes and integrates, per
+directed edge:
+
+* **busy time** — total simulated seconds with ≥ 1 flow on the edge;
+* **max concurrent flows** — the edge's peak multiplexing;
+* **contention events** — the over-subscription counter: one event per
+  flow arrival onto an *already busy* edge (count reaching ≥ 2).  A
+  contention-free execution — what the paper's Theorem promises for
+  every scheduled phase — records exactly zero of these on every link;
+* **flows carried** — arrivals on the edge over the whole run.
+
+Per flow it records start/finish times and the achieved rate
+(``bytes / transport duration``; handshake latency is excluded because
+the flow only enters the network after the rendezvous completes).
+
+After the run, :meth:`LinkMetricsCollector.report` combines the
+integrated occupancy with the byte counters the network keeps
+(``edge_bytes``) into a :class:`LinkMetricsReport` with utilization
+percentages against raw line bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.bus import Edge, EventBus, FlowFinished, FlowStarted, LinkOccupancy
+
+#: Guard against zero-duration flows when computing achieved rates.
+_MIN_DURATION = 1e-12
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed transfer, as observed on the wire."""
+
+    fid: int
+    src: str
+    dst: str
+    nbytes: float
+    start: float
+    end: float
+    num_links: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def achieved_rate(self) -> float:
+        """Mean goodput in bytes/second over the flow's transport time."""
+        return self.nbytes / max(self.duration, _MIN_DURATION)
+
+
+@dataclass
+class _EdgeState:
+    """Integration state for one directed edge (collector-internal)."""
+
+    count: int = 0
+    busy_since: float = 0.0
+    busy_time: float = 0.0
+    max_concurrent: int = 0
+    contention_events: int = 0
+    flows_carried: int = 0
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Final per-edge numbers for one run."""
+
+    edge: Edge
+    nbytes: float
+    busy_time: float
+    #: busy_time / makespan — fraction of the run the link was active.
+    busy_fraction: float
+    #: nbytes / (line_bandwidth * makespan) — mean raw-line utilization.
+    utilization: float
+    max_concurrent: int
+    contention_events: int
+    flows_carried: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "bytes": self.nbytes,
+            "busy_time_ms": self.busy_time * 1e3,
+            "busy_fraction": self.busy_fraction,
+            "utilization": self.utilization,
+            "max_concurrent_flows": self.max_concurrent,
+            "contention_events": self.contention_events,
+            "flows_carried": self.flows_carried,
+        }
+
+
+@dataclass
+class LinkMetricsReport:
+    """All link and flow metrics for one simulated run."""
+
+    links: Dict[Edge, LinkReport] = field(default_factory=dict)
+    flows: List[FlowRecord] = field(default_factory=list)
+    completion_time: float = 0.0
+
+    @property
+    def total_contention_events(self) -> int:
+        return sum(l.contention_events for l in self.links.values())
+
+    @property
+    def max_concurrent_any_link(self) -> int:
+        if not self.links:
+            return 0
+        return max(l.max_concurrent for l in self.links.values())
+
+    @property
+    def contention_free(self) -> bool:
+        """Empirical verdict: no link ever carried two flows at once."""
+        return self.max_concurrent_any_link <= 1
+
+    @property
+    def max_utilization(self) -> float:
+        if not self.links:
+            return 0.0
+        return max(l.utilization for l in self.links.values())
+
+    def busiest_links(self, n: int = 5) -> List[LinkReport]:
+        """The *n* links with the highest mean utilization."""
+        ranked = sorted(
+            self.links.values(), key=lambda l: l.utilization, reverse=True
+        )
+        return ranked[:n]
+
+    def total_bytes(self, edges: Optional[List[Edge]] = None) -> float:
+        """Bytes transported, summed over *edges* (default: all)."""
+        if edges is None:
+            return sum(l.nbytes for l in self.links.values())
+        return sum(self.links[e].nbytes for e in edges if e in self.links)
+
+
+class LinkMetricsCollector:
+    """Bus consumer that integrates link occupancy and flow lifetimes."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self._edges: Dict[Edge, _EdgeState] = {}
+        self._open: Dict[int, FlowStarted] = {}
+        self.flows: List[FlowRecord] = []
+        bus.subscribe(FlowStarted, self._on_flow_started)
+        bus.subscribe(FlowFinished, self._on_flow_finished)
+        bus.subscribe(LinkOccupancy, self._on_occupancy)
+
+    # ------------------------------------------------------------------
+    def _on_flow_started(self, ev: FlowStarted) -> None:
+        self._open[ev.fid] = ev
+        for e in ev.path:
+            self._edges.setdefault(e, _EdgeState()).flows_carried += 1
+
+    def _on_flow_finished(self, ev: FlowFinished) -> None:
+        started = self._open.pop(ev.fid, None)
+        num_links = len(started.path) if started is not None else 0
+        self.flows.append(
+            FlowRecord(
+                fid=ev.fid,
+                src=ev.src,
+                dst=ev.dst,
+                nbytes=ev.nbytes,
+                start=ev.start_time,
+                end=ev.time,
+                num_links=num_links,
+            )
+        )
+
+    def _on_occupancy(self, ev: LinkOccupancy) -> None:
+        st = self._edges.setdefault(ev.edge, _EdgeState())
+        prev = st.count
+        st.count = ev.count
+        if ev.count > prev:  # arrival(s)
+            if prev == 0:
+                st.busy_since = ev.time
+            elif ev.count >= 2:
+                # A flow landed on an already-busy link: over-subscription.
+                st.contention_events += ev.count - prev
+            st.max_concurrent = max(st.max_concurrent, ev.count)
+        elif ev.count < prev and ev.count == 0:
+            st.busy_time += ev.time - st.busy_since
+
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Close busy intervals still open at *now* (normally none)."""
+        for st in self._edges.values():
+            if st.count > 0:
+                st.busy_time += now - st.busy_since
+                st.busy_since = now
+
+    def report(
+        self,
+        completion_time: float,
+        edge_bytes: Dict[Edge, float],
+        bandwidth: float,
+        link_bandwidths: Optional[Dict[Edge, float]] = None,
+    ) -> LinkMetricsReport:
+        """Assemble the final report.
+
+        *edge_bytes* is the network's byte ledger (authoritative for
+        volumes); *bandwidth* the uniform raw line rate, overridable per
+        directed edge via *link_bandwidths* (either orientation).
+        """
+        makespan = max(completion_time, _MIN_DURATION)
+        links: Dict[Edge, LinkReport] = {}
+        edges = set(self._edges) | set(edge_bytes)
+        for e in sorted(edges):
+            st = self._edges.get(e, _EdgeState())
+            nbytes = edge_bytes.get(e, 0.0)
+            line = bandwidth
+            if link_bandwidths:
+                line = link_bandwidths.get(
+                    e, link_bandwidths.get((e[1], e[0]), bandwidth)
+                )
+            links[e] = LinkReport(
+                edge=e,
+                nbytes=nbytes,
+                busy_time=st.busy_time,
+                busy_fraction=st.busy_time / makespan,
+                utilization=nbytes / (line * makespan),
+                max_concurrent=st.max_concurrent,
+                contention_events=st.contention_events,
+                flows_carried=st.flows_carried,
+            )
+        return LinkMetricsReport(
+            links=links,
+            flows=list(self.flows),
+            completion_time=completion_time,
+        )

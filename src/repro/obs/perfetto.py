@@ -1,0 +1,172 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Produces the classic Trace Event Format (loadable by both
+``chrome://tracing`` and https://ui.perfetto.dev): a JSON object with a
+``traceEvents`` array.  The run is laid out as four "processes":
+
+* **ranks** (pid 1) — one thread per rank.  Every trace record becomes
+  an instant event; ``sync_wait → sync_recv`` pairs become duration
+  slices, so the cost of pair-wise synchronization is visible as boxes.
+* **links** (pid 2) — one *counter track per directed link* showing the
+  concurrent-flow count over time.  A contention-free run never shows a
+  counter above 1; LAM-style post-everything traffic spikes to dozens.
+* **flows** (pid 3) — one thread per source rank, each transfer an
+  async slice from wire-entry to last byte (overlap-safe).
+* **phases** (pid 4) — one thread per schedule phase with a single
+  slice spanning the phase's first to last activity; drift and overlap
+  are visible at a glance.
+
+Timestamps are microseconds (the format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import RunTelemetry
+
+_PID_RANKS = 1
+_PID_LINKS = 2
+_PID_FLOWS = 3
+_PID_PHASES = 4
+
+
+def _us(t: float) -> float:
+    return t * 1e6
+
+
+def _meta(pid: int, name: str, tid: int = 0, *, thread: bool = False) -> dict:
+    return {
+        "name": "thread_name" if thread else "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
+    """The ``traceEvents`` array for one run."""
+    events: List[dict] = [
+        _meta(_PID_RANKS, "ranks"),
+        _meta(_PID_LINKS, "links"),
+        _meta(_PID_FLOWS, "flows"),
+        _meta(_PID_PHASES, "phases"),
+    ]
+    rank_tid: Dict[str, int] = {
+        rank: tid for tid, rank in enumerate(sorted(telemetry.machines))
+    }
+    for rank, tid in rank_tid.items():
+        events.append(_meta(_PID_RANKS, rank, tid, thread=True))
+        events.append(_meta(_PID_FLOWS, f"flows from {rank}", tid, thread=True))
+
+    # --- rank tracks: instants + sync-wait slices --------------------
+    sync_started: Dict[tuple, float] = {}
+    for r in telemetry.trace.records:
+        tid = rank_tid.get(r.rank)
+        if tid is None:
+            continue
+        if r.what == "sync_wait":
+            sync_started[(r.rank, r.peer, r.tag)] = r.time
+        elif r.what == "sync_recv":
+            t0 = sync_started.pop((r.rank, r.peer, r.tag), None)
+            if t0 is not None:
+                events.append(
+                    {
+                        "name": f"sync_wait {r.peer}",
+                        "cat": "sync",
+                        "ph": "X",
+                        "ts": _us(t0),
+                        "dur": _us(r.time - t0),
+                        "pid": _PID_RANKS,
+                        "tid": tid,
+                        "args": {"phase": r.phase, "tag": r.tag},
+                    }
+                )
+                continue
+        events.append(
+            {
+                "name": r.what,
+                "cat": "op",
+                "ph": "i",
+                "s": "t",
+                "ts": _us(r.time),
+                "pid": _PID_RANKS,
+                "tid": tid,
+                "args": {"peer": r.peer, "tag": r.tag, "phase": r.phase},
+            }
+        )
+
+    # --- link counter tracks -----------------------------------------
+    link_names = sorted({s.edge for s in telemetry.occupancy})
+    for i, edge in enumerate(link_names):
+        events.append(_meta(_PID_LINKS, f"{edge[0]}->{edge[1]}", i, thread=True))
+    for sample in telemetry.occupancy:
+        events.append(
+            {
+                "name": f"{sample.edge[0]}->{sample.edge[1]} flows",
+                "cat": "link",
+                "ph": "C",
+                "ts": _us(sample.time),
+                "pid": _PID_LINKS,
+                "args": {"flows": sample.count},
+            }
+        )
+
+    # --- flow async slices -------------------------------------------
+    for flow in telemetry.links.flows:
+        tid = rank_tid.get(flow.src, 0)
+        common = {
+            "cat": "flow",
+            "id": flow.fid,
+            "pid": _PID_FLOWS,
+            "tid": tid,
+            "name": f"{flow.src}->{flow.dst} ({int(flow.nbytes)} B)",
+        }
+        events.append({**common, "ph": "b", "ts": _us(flow.start)})
+        events.append({**common, "ph": "e", "ts": _us(flow.end)})
+
+    # --- phase slices -------------------------------------------------
+    for phase in telemetry.health.phases:
+        events.append(
+            _meta(_PID_PHASES, f"phase {phase.phase}", phase.phase, thread=True)
+        )
+        events.append(
+            {
+                "name": f"phase {phase.phase}",
+                "cat": "phase",
+                "ph": "X",
+                "ts": _us(phase.start),
+                "dur": _us(phase.span),
+                "pid": _PID_PHASES,
+                "tid": phase.phase,
+                "args": {
+                    "sync_wait_ms": phase.sync_wait * 1e3,
+                    "drift_ms": phase.drift * 1e3,
+                    "bottleneck_rank": phase.bottleneck_rank,
+                },
+            }
+        )
+    return events
+
+
+def perfetto_trace(telemetry: "RunTelemetry") -> dict:
+    """The full JSON object (``traceEvents`` + display hints)."""
+    return {
+        "traceEvents": perfetto_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "completion_time_ms": telemetry.completion_time * 1e3,
+            "contention_free_verified": telemetry.contention_free_verified,
+            "generator": "repro-aapc flight recorder",
+        },
+    }
+
+
+def write_perfetto(telemetry: "RunTelemetry", path: str) -> None:
+    """Serialize the trace to *path* (open at ui.perfetto.dev)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(perfetto_trace(telemetry), fh)
+        fh.write("\n")

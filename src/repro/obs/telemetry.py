@@ -1,0 +1,132 @@
+"""The telemetry bundle a simulated run returns.
+
+:class:`RunTelemetry` packages everything the flight recorder captured
+— the per-rank :class:`~repro.sim.trace.Trace`, the per-link/per-flow
+:class:`~repro.obs.link_metrics.LinkMetricsReport`, the
+:class:`~repro.obs.diagnostics.ScheduleHealth` diagnostics, engine
+counters, and the raw occupancy samples the Perfetto exporter replays
+into counter tracks.
+
+``run_programs(..., telemetry=True)`` attaches one of these to
+``RunResult.telemetry``; ``metrics_dict()`` is the JSON report the CLI
+writes for ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.bus import LinkOccupancy
+from repro.obs.diagnostics import ScheduleHealth
+from repro.obs.link_metrics import LinkMetricsReport
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Event-loop counters for one run."""
+
+    events_processed: int
+    peak_heap_depth: int
+    bus_events: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "events_processed": self.events_processed,
+            "peak_heap_depth": self.peak_heap_depth,
+            "bus_events": self.bus_events,
+        }
+
+
+def _edge_key(edge: Tuple[str, str]) -> str:
+    return f"{edge[0]}->{edge[1]}"
+
+
+@dataclass
+class RunTelemetry:
+    """Everything the flight recorder captured for one run."""
+
+    completion_time: float
+    machines: Tuple[str, ...]
+    bandwidth: float
+    trace: Trace
+    links: LinkMetricsReport
+    health: ScheduleHealth
+    engine: EngineStats
+    #: Raw per-edge occupancy samples, in time order (Perfetto counters).
+    occupancy: List[LinkOccupancy] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def contention_free_verified(self) -> bool:
+        return self.links.contention_free
+
+    @property
+    def total_contention_events(self) -> int:
+        return self.links.total_contention_events
+
+    def metrics_dict(self) -> Dict[str, object]:
+        """The JSON metrics report (``--metrics-out``)."""
+        flows = self.links.flows
+        mean_rate = (
+            sum(f.achieved_rate for f in flows) / len(flows) if flows else 0.0
+        )
+        return {
+            "completion_time_ms": self.completion_time * 1e3,
+            "num_ranks": len(self.machines),
+            "bandwidth_bytes_per_sec": self.bandwidth,
+            "contention_free_verified": self.contention_free_verified,
+            "total_contention_events": self.total_contention_events,
+            "max_concurrent_flows_any_link": self.links.max_concurrent_any_link,
+            "max_link_utilization": self.links.max_utilization,
+            "flows": {
+                "count": len(flows),
+                "mean_achieved_rate_bytes_per_sec": mean_rate,
+            },
+            "links": {
+                _edge_key(edge): report.as_dict()
+                for edge, report in sorted(self.links.links.items())
+            },
+            "schedule_health": self.health.as_dict(),
+            "engine": self.engine.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    def write_metrics(self, path: str) -> None:
+        """Write the JSON metrics report to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.metrics_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def write_perfetto(self, path: str) -> None:
+        """Write the Chrome/Perfetto ``trace_event`` JSON to *path*."""
+        from repro.obs.perfetto import write_perfetto
+
+        write_perfetto(self, path)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Terminal one-pager: verdict, sync cost, hottest links."""
+        lines = [
+            f"completion      {self.completion_time * 1e3:.2f} ms  "
+            f"({len(self.machines)} ranks, {len(self.links.flows)} flows)",
+            f"contention-free verified: "
+            f"{'yes' if self.contention_free_verified else 'NO'}  "
+            f"(over-subscription events: {self.total_contention_events}, "
+            f"peak link multiplexing: {self.links.max_concurrent_any_link})",
+            f"sync wait total {self.health.total_sync_wait * 1e3:.2f} ms   "
+            f"max phase drift {self.health.max_drift * 1e3:.2f} ms   "
+            f"phase overlap {self.health.overlap_fraction:.2f}",
+            "busiest links (mean utilization of line rate):",
+        ]
+        for report in self.links.busiest_links(5):
+            lines.append(
+                f"  {_edge_key(report.edge):>14s}  "
+                f"{report.utilization * 100:5.1f}%  "
+                f"busy {report.busy_fraction * 100:5.1f}%  "
+                f"mux {report.max_concurrent}  "
+                f"contention {report.contention_events}"
+            )
+        return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.sim.engine import Engine, SimEvent
 from repro.sim.network import FlowNetwork, Flow
 from repro.sim.mpi import SimMPI, Request
 from repro.sim.executor import RunResult, run_programs
+from repro.obs.telemetry import RunTelemetry
 from repro.sim.gantt import (
     phase_latency_table,
     phase_overlap_fraction,
@@ -43,5 +44,6 @@ __all__ = [
     "SimMPI",
     "Request",
     "RunResult",
+    "RunTelemetry",
     "run_programs",
 ]

@@ -69,6 +69,7 @@ class Engine:
         self._seq = 0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._events_processed = 0
+        self._peak_heap_depth = 0
 
     @property
     def now(self) -> float:
@@ -78,6 +79,11 @@ class Engine:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def peak_heap_depth(self) -> int:
+        """High-water mark of pending events (telemetry: sim memory/load)."""
+        return self._peak_heap_depth
 
     def event(self) -> SimEvent:
         """Create a fresh one-shot event bound to this engine."""
@@ -89,6 +95,8 @@ class Engine:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        if len(self._heap) > self._peak_heap_depth:
+            self._peak_heap_depth = len(self._heap)
 
     def spawn(self, generator: Generator) -> SimEvent:
         """Drive a coroutine; returns an event triggered when it finishes.

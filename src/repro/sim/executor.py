@@ -21,11 +21,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProgramError, SimulationError
 from repro.core.program import Block, Op, OpKind, Program
+from repro.obs.bus import EventBus, LinkOccupancy
+from repro.obs.diagnostics import schedule_health
+from repro.obs.link_metrics import LinkMetricsCollector
+from repro.obs.telemetry import EngineStats, RunTelemetry
 from repro.sim.engine import Engine, SimEvent
 from repro.sim.mpi import Request, SimMPI
 from repro.sim.network import FlowNetwork
 from repro.sim.params import NetworkParams
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceRecord
 from repro.topology.graph import Topology
 from repro.topology.paths import PathOracle
 
@@ -48,6 +52,8 @@ class RunResult:
     #: Bytes transported per directed edge over the whole run.
     edge_bytes: Dict[Tuple[str, str], float] = field(default_factory=dict)
     trace: Optional[Trace] = None
+    #: Flight-recorder bundle (``run_programs(..., telemetry=True)``).
+    telemetry: Optional[RunTelemetry] = None
 
     def aggregate_throughput(self, num_machines: int, msize: int) -> float:
         """Realised aggregate throughput in bytes/second (paper metric)."""
@@ -79,6 +85,8 @@ def run_programs(
     *,
     oracle: Optional[PathOracle] = None,
     trace: bool = False,
+    telemetry: bool = False,
+    max_trace_records: Optional[int] = None,
     check_delivery: bool = True,
     expected_blocks: Optional[Dict[str, Set[Block]]] = None,
     link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
@@ -91,6 +99,14 @@ def run_programs(
         Per-block message size in bytes; an operation carrying ``k``
         blocks moves ``k * msize`` bytes unless it sets an explicit
         ``nbytes``.
+    trace:
+        Record per-rank operation events into ``result.trace``.
+    telemetry:
+        Full flight recorder: implies *trace*, additionally collects
+        per-link/per-flow metrics and schedule-health diagnostics into
+        ``result.telemetry`` (a :class:`~repro.obs.telemetry.RunTelemetry`).
+    max_trace_records:
+        Optional ring-buffer cap on the trace (see :class:`Trace`).
     check_delivery:
         Verify every rank received every block addressed to it.
     expected_blocks:
@@ -107,11 +123,33 @@ def run_programs(
     if missing:
         raise ProgramError(f"no program for machines {missing}")
 
+    observing = trace or telemetry
+    bus = EventBus() if observing else None
     engine = Engine()
-    network = FlowNetwork(engine, topology, params, oracle, link_bandwidths)
+    network = FlowNetwork(
+        engine, topology, params, oracle, link_bandwidths, bus=bus
+    )
     mpi = SimMPI(engine, network, params)
     rng = random.Random(params.seed)
-    run_trace = Trace(enabled=trace)
+    run_trace = Trace(enabled=observing, max_records=max_trace_records)
+    collector: Optional[LinkMetricsCollector] = None
+    occupancy_log: List[LinkOccupancy] = []
+    if bus is not None:
+        run_trace.attach(bus)
+        if telemetry:
+            collector = LinkMetricsCollector(bus)
+            bus.subscribe(LinkOccupancy, occupancy_log.append)
+
+    if bus is not None:
+        _publish = bus.publish
+
+        def emit(rank: str, what: str, peer: str = "", tag: int = 0,
+                 phase: int = -1) -> None:
+            _publish(TraceRecord(engine.now, rank, what, peer, tag, phase))
+    else:
+        def emit(rank: str, what: str, peer: str = "", tag: int = 0,
+                 phase: int = -1) -> None:
+            pass
 
     rank_finish: Dict[str, float] = {}
     received: Dict[str, Set[Block]] = {m: set() for m in machines}
@@ -141,25 +179,25 @@ def run_programs(
         for op in program.ops:
             if op.kind in (OpKind.ISEND, OpKind.SEND):
                 yield overhead(rank)
-                run_trace.add(engine.now, rank, "post_send", op.peer, op.tag, op.phase)
+                emit(rank, "post_send", op.peer, op.tag, op.phase)
                 req = mpi.isend(
                     rank, op.peer, op.tag, op.wire_size(msize), op.blocks
                 )
                 if op.kind == OpKind.SEND:
                     if not req.done:
                         yield req.event
-                    run_trace.add(engine.now, rank, "complete_send", op.peer, op.tag, op.phase)
+                    emit(rank, "complete_send", op.peer, op.tag, op.phase)
                 else:
                     pending.append(req)
             elif op.kind in (OpKind.IRECV, OpKind.RECV):
                 yield overhead(rank)
-                run_trace.add(engine.now, rank, "post_recv", op.peer, op.tag, op.phase)
+                emit(rank, "post_recv", op.peer, op.tag, op.phase)
                 req = mpi.irecv(rank, op.peer, op.tag)
                 if op.kind == OpKind.RECV:
                     if not req.done:
                         yield req.event
                     _record_blocks(rank, req)
-                    run_trace.add(engine.now, rank, "complete_recv", op.peer, op.tag, op.phase)
+                    emit(rank, "complete_recv", op.peer, op.tag, op.phase)
                 else:
                     pending.append(req)
             elif op.kind == OpKind.WAITALL:
@@ -168,24 +206,24 @@ def run_programs(
                         yield req.event
                     if req.kind == "recv":
                         _record_blocks(rank, req)
-                run_trace.add(engine.now, rank, "waitall_done", "", 0, op.phase)
+                emit(rank, "waitall_done", "", 0, op.phase)
                 pending = []
             elif op.kind == OpKind.SYNC_SEND:
                 yield overhead(rank)
-                run_trace.add(engine.now, rank, "sync_send", op.peer, op.tag, op.phase)
+                emit(rank, "sync_send", op.peer, op.tag, op.phase)
                 req = mpi.isend(rank, op.peer, op.tag, 0, (), sync=True)
                 if not req.done:
                     yield req.event
             elif op.kind == OpKind.SYNC_RECV:
-                run_trace.add(engine.now, rank, "sync_wait", op.peer, op.tag, op.phase)
+                emit(rank, "sync_wait", op.peer, op.tag, op.phase)
                 req = mpi.irecv(rank, op.peer, op.tag, sync=True)
                 if not req.done:
                     yield req.event
-                run_trace.add(engine.now, rank, "sync_recv", op.peer, op.tag, op.phase)
+                emit(rank, "sync_recv", op.peer, op.tag, op.phase)
             elif op.kind == OpKind.BARRIER:
                 event = mpi.barrier(len(machines))
                 yield event
-                run_trace.add(engine.now, rank, "barrier", "", 0, op.phase)
+                emit(rank, "barrier", "", 0, op.phase)
             else:  # pragma: no cover - exhaustive over OpKind
                 raise ProgramError(f"unknown op kind {op.kind!r}")
         if pending:
@@ -216,6 +254,29 @@ def run_programs(
         _check_delivery(machines, received, received_lists, expected_blocks)
 
     completion = max(rank_finish.values()) if rank_finish else 0.0
+
+    run_telemetry: Optional[RunTelemetry] = None
+    if collector is not None:
+        assert bus is not None
+        collector.finalize(engine.now)
+        links_report = collector.report(
+            completion, network.edge_bytes, params.bandwidth, link_bandwidths
+        )
+        run_telemetry = RunTelemetry(
+            completion_time=completion,
+            machines=tuple(machines),
+            bandwidth=params.bandwidth,
+            trace=run_trace,
+            links=links_report,
+            health=schedule_health(run_trace, links_report),
+            engine=EngineStats(
+                events_processed=engine.events_processed,
+                peak_heap_depth=engine.peak_heap_depth,
+                bus_events=bus.events_published,
+            ),
+            occupancy=occupancy_log,
+        )
+
     return RunResult(
         completion_time=completion,
         rank_finish=rank_finish,
@@ -225,7 +286,8 @@ def run_programs(
         bytes_delivered=network.bytes_delivered,
         events_processed=engine.events_processed,
         edge_bytes=dict(network.edge_bytes),
-        trace=run_trace if trace else None,
+        trace=run_trace if observing else None,
+        telemetry=run_telemetry,
     )
 
 

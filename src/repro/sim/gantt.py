@@ -52,31 +52,42 @@ def render_rank_gantt(
     ranks: Optional[Sequence[str]] = None,
     *,
     width: int = 72,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
 ) -> str:
-    """Render per-rank activity rows over binned simulated time."""
+    """Render per-rank activity rows over binned simulated time.
+
+    *t0*/*t1* optionally zoom the view to a time window (seconds); the
+    default covers the whole trace.
+    """
     if not trace.records:
         raise ReproError("trace is empty; run with trace=True")
+    if t1 is None:
+        t1 = max(r.time for r in trace.records)
+    records = trace.between(t0, t1)
+    if not records:
+        raise ReproError(f"no trace records in window [{t0}, {t1}]")
     if ranks is None:
         seen: List[str] = []
-        for r in trace.records:
+        for r in records:
             if r.rank not in seen:
                 seen.append(r.rank)
         ranks = sorted(seen)
-    t_end = max(r.time for r in trace.records)
-    t_end = t_end if t_end > 0 else 1e-9
+    span = t1 - t0
+    span = span if span > 0 else 1e-9
     rows: Dict[str, List[str]] = {rank: [""] * width for rank in ranks}
     rank_set = set(ranks)
-    for record in trace.records:
+    for record in records:
         if record.rank not in rank_set:
             continue
-        cell = min(width - 1, int(record.time / t_end * width))
+        cell = min(width - 1, int((record.time - t0) / span * width))
         glyph = _WHAT_TO_GLYPH.get(record.what, ".")
         row = rows[record.rank]
         if _GLYPH_PRIORITY[glyph] > _GLYPH_PRIORITY[row[cell]]:
             row[cell] = glyph
     name_width = max(len(r) for r in ranks)
     lines = [
-        f"0 {'-' * (width - 2)}> {seconds_to_ms(t_end):.2f} ms "
+        f"{seconds_to_ms(t0):g} {'-' * (width - 2)}> {seconds_to_ms(t1):.2f} ms "
         "(s=send r=recv w=complete Y=sync)"
     ]
     for rank in ranks:
@@ -86,16 +97,19 @@ def render_rank_gantt(
 
 
 def phase_latency_table(trace: Trace) -> str:
-    """Per-phase first/last activity and span, in milliseconds."""
+    """Per-phase first/last activity, span and record count, in ms."""
     spans = trace.phase_spans()
     if not spans:
         raise ReproError("trace has no phase-tagged records")
-    lines = [f"{'phase':>6} {'start ms':>10} {'end ms':>10} {'span ms':>9}"]
+    lines = [
+        f"{'phase':>6} {'start ms':>10} {'end ms':>10} {'span ms':>9} {'ops':>6}"
+    ]
     for phase in sorted(spans):
         lo, hi = spans[phase]
+        ops = len(trace.of_phase(phase))
         lines.append(
             f"{phase:>6} {seconds_to_ms(lo):>10.2f} {seconds_to_ms(hi):>10.2f} "
-            f"{seconds_to_ms(hi - lo):>9.2f}"
+            f"{seconds_to_ms(hi - lo):>9.2f} {ops:>6}"
         )
     return "\n".join(lines)
 

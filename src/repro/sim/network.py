@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.bus import EventBus, FlowFinished, FlowStarted, LinkOccupancy
 from repro.sim.engine import Engine
 from repro.sim.params import NetworkParams
 from repro.topology.graph import Edge, Topology
@@ -65,11 +66,15 @@ class FlowNetwork:
         params: NetworkParams,
         oracle: Optional[PathOracle] = None,
         link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         """*link_bandwidths* optionally overrides the uniform link speed
         per physical link; keys may name either orientation and apply to
-        both directed edges (full-duplex links)."""
+        both directed edges (full-duplex links).  *bus* is an optional
+        telemetry bus: flow starts/finishes and per-edge occupancy
+        changes are published to it (``None`` = zero overhead)."""
         self.engine = engine
+        self.bus = bus
         self.topology = topology
         self.params = params
         self.oracle = oracle if oracle is not None else PathOracle(topology)
@@ -137,6 +142,15 @@ class FlowNetwork:
         self.peak_concurrent_flows = max(
             self.peak_concurrent_flows, len(self._flows)
         )
+        if self.bus is not None:
+            now = self.engine.now
+            self.bus.publish(
+                FlowStarted(now, flow.fid, src, dst, flow.size, edges)
+            )
+            for e in edges:
+                self.bus.publish(
+                    LinkOccupancy(now, e, len(self._edge_flows[e]))
+                )
         self._mark_dirty()
         return flow
 
@@ -212,6 +226,18 @@ class FlowNetwork:
             flow.remaining = 0.0
             flow.rate = 0.0
             flow.end_time = self.engine.now
+            if self.bus is not None:
+                now = self.engine.now
+                self.bus.publish(
+                    FlowFinished(
+                        now, flow.fid, flow.src, flow.dst, flow.size,
+                        flow.start_time,
+                    )
+                )
+                for e in flow.edges:
+                    self.bus.publish(
+                        LinkOccupancy(now, e, len(self._edge_flows[e]))
+                    )
             flow.on_complete(flow)
 
     def _allocate_max_min(self) -> None:

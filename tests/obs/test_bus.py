@@ -1,0 +1,49 @@
+"""Unit tests for the telemetry event bus."""
+
+from repro.obs.bus import EventBus, FlowFinished, FlowStarted, LinkOccupancy
+
+
+class TestEventBus:
+    def test_dispatch_by_type(self):
+        bus = EventBus()
+        starts, finishes = [], []
+        bus.subscribe(FlowStarted, starts.append)
+        bus.subscribe(FlowFinished, finishes.append)
+        bus.publish(FlowStarted(0.0, 1, "n0", "n1", 10.0, (("n0", "s0"),)))
+        bus.publish(FlowFinished(1.0, 1, "n0", "n1", 10.0, 0.0))
+        assert len(starts) == 1 and len(finishes) == 1
+        assert starts[0].fid == 1
+        assert finishes[0].duration == 1.0
+
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(LinkOccupancy, lambda e: order.append("a"))
+        bus.subscribe(LinkOccupancy, lambda e: order.append("b"))
+        bus.publish(LinkOccupancy(0.0, ("n0", "s0"), 1))
+        assert order == ["a", "b"]
+
+    def test_unsubscribed_types_are_ignored(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(FlowStarted, seen.append)
+        bus.publish(LinkOccupancy(0.0, ("n0", "s0"), 1))
+        assert seen == []
+        assert bus.events_published == 1
+
+    def test_has_subscribers(self):
+        bus = EventBus()
+        assert not bus.has_subscribers(FlowStarted)
+        bus.subscribe(FlowStarted, lambda e: None)
+        assert bus.has_subscribers(FlowStarted)
+        assert not bus.has_subscribers(FlowFinished)
+
+    def test_exact_type_dispatch_no_subclass_inheritance(self):
+        class Special(FlowStarted):
+            pass
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(FlowStarted, seen.append)
+        bus.publish(Special(0.0, 1, "a", "b", 1.0, ()))
+        assert seen == []

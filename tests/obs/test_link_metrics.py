@@ -1,0 +1,154 @@
+"""Link/flow metrics: synthetic integration and simulated-run invariants."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.obs.bus import EventBus, FlowFinished, FlowStarted, LinkOccupancy
+from repro.obs.link_metrics import LinkMetricsCollector
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import paper_example_cluster, single_switch
+from repro.units import kib
+
+E1 = ("n0", "s0")
+E2 = ("s0", "n1")
+
+
+def _publish_flow(bus, fid, t0, t1, counts_at_start, counts_at_end):
+    bus.publish(FlowStarted(t0, fid, "n0", "n1", 100.0, (E1, E2)))
+    for edge, count in counts_at_start:
+        bus.publish(LinkOccupancy(t0, edge, count))
+    bus.publish(FlowFinished(t1, fid, "n0", "n1", 100.0, t0))
+    for edge, count in counts_at_end:
+        bus.publish(LinkOccupancy(t1, edge, count))
+
+
+class TestCollectorSynthetic:
+    def test_busy_time_integration(self):
+        bus = EventBus()
+        collector = LinkMetricsCollector(bus)
+        # One flow [0, 2], a gap, another [5, 6]: busy 3 of 6 seconds.
+        _publish_flow(bus, 0, 0.0, 2.0, [(E1, 1), (E2, 1)], [(E1, 0), (E2, 0)])
+        _publish_flow(bus, 1, 5.0, 6.0, [(E1, 1), (E2, 1)], [(E1, 0), (E2, 0)])
+        collector.finalize(6.0)
+        report = collector.report(6.0, {E1: 200.0, E2: 200.0}, 100.0)
+        link = report.links[E1]
+        assert link.busy_time == pytest.approx(3.0)
+        assert link.busy_fraction == pytest.approx(0.5)
+        assert link.utilization == pytest.approx(200.0 / (100.0 * 6.0))
+        assert link.max_concurrent == 1
+        assert link.contention_events == 0
+        assert link.flows_carried == 2
+        assert report.contention_free
+
+    def test_contention_event_on_second_arrival(self):
+        bus = EventBus()
+        collector = LinkMetricsCollector(bus)
+        bus.publish(FlowStarted(0.0, 0, "n0", "n1", 50.0, (E1,)))
+        bus.publish(LinkOccupancy(0.0, E1, 1))
+        bus.publish(FlowStarted(1.0, 1, "n0", "n2", 50.0, (E1,)))
+        bus.publish(LinkOccupancy(1.0, E1, 2))  # over-subscription
+        bus.publish(FlowFinished(2.0, 0, "n0", "n1", 50.0, 0.0))
+        bus.publish(LinkOccupancy(2.0, E1, 1))
+        bus.publish(FlowFinished(3.0, 1, "n0", "n2", 50.0, 1.0))
+        bus.publish(LinkOccupancy(3.0, E1, 0))
+        collector.finalize(3.0)
+        report = collector.report(3.0, {E1: 100.0}, 100.0)
+        link = report.links[E1]
+        assert link.contention_events == 1
+        assert link.max_concurrent == 2
+        assert link.busy_time == pytest.approx(3.0)
+        assert not report.contention_free
+        assert report.total_contention_events == 1
+
+    def test_flow_records_and_achieved_rate(self):
+        bus = EventBus()
+        collector = LinkMetricsCollector(bus)
+        _publish_flow(bus, 7, 1.0, 3.0, [(E1, 1), (E2, 1)], [(E1, 0), (E2, 0)])
+        collector.finalize(3.0)
+        report = collector.report(3.0, {}, 100.0)
+        assert len(report.flows) == 1
+        flow = report.flows[0]
+        assert flow.fid == 7
+        assert flow.duration == pytest.approx(2.0)
+        assert flow.achieved_rate == pytest.approx(50.0)
+        assert flow.num_links == 2
+
+    def test_finalize_closes_open_intervals(self):
+        bus = EventBus()
+        collector = LinkMetricsCollector(bus)
+        bus.publish(FlowStarted(0.0, 0, "n0", "n1", 50.0, (E1,)))
+        bus.publish(LinkOccupancy(0.0, E1, 1))
+        collector.finalize(4.0)  # flow never finished
+        report = collector.report(4.0, {E1: 10.0}, 100.0)
+        assert report.links[E1].busy_time == pytest.approx(4.0)
+
+    def test_heterogeneous_bandwidth_override(self):
+        bus = EventBus()
+        collector = LinkMetricsCollector(bus)
+        _publish_flow(bus, 0, 0.0, 1.0, [(E1, 1), (E2, 1)], [(E1, 0), (E2, 0)])
+        collector.finalize(1.0)
+        # Override given in the reverse orientation must still apply.
+        report = collector.report(
+            1.0, {E1: 100.0}, 100.0, link_bandwidths={("s0", "n0"): 200.0}
+        )
+        assert report.links[E1].utilization == pytest.approx(100.0 / 200.0)
+
+
+class TestRunInvariants:
+    @pytest.mark.parametrize("algorithm", ["scheduled", "lam"])
+    def test_uplink_bytes_match_aapc_volume(self, algorithm):
+        """Link utilization ledger conserves bytes: every AAPC message
+        crosses its source's uplink exactly once, so the uplink total is
+        |M|*(|M|-1)*msize."""
+        topo = single_switch(4)
+        msize = kib(64)
+        programs = get_algorithm(algorithm).build_programs(topo, msize)
+        run = run_programs(topo, programs, msize, NetworkParams(),
+                           telemetry=True)
+        links = run.telemetry.links
+        uplinks = [e for e in links.links if topo.is_machine(e[0])]
+        expected = 4 * 3 * msize
+        assert links.total_bytes(uplinks) == pytest.approx(expected, rel=1e-9)
+        # Utilization is bytes re-expressed per line rate and makespan:
+        # summing utilization * B * T over uplinks returns the volume.
+        back = sum(
+            links.links[e].utilization
+            * NetworkParams().bandwidth
+            * run.completion_time
+            for e in uplinks
+        )
+        assert back == pytest.approx(expected, rel=1e-9)
+
+    def test_scheduled_is_contention_free_lam_is_not(self):
+        """Empirical confirmation of the paper's Theorem on fig1."""
+        topo = paper_example_cluster()
+        msize = kib(64)
+        results = {}
+        for name in ("scheduled", "lam"):
+            programs = get_algorithm(name).build_programs(topo, msize)
+            run = run_programs(topo, programs, msize, NetworkParams(),
+                               telemetry=True)
+            results[name] = run.telemetry.links
+        assert results["scheduled"].contention_free
+        assert results["scheduled"].total_contention_events == 0
+        assert not results["lam"].contention_free
+        assert results["lam"].total_contention_events > 0
+        assert results["lam"].max_concurrent_any_link >= 2
+
+    def test_flow_count_matches_rendezvous_messages(self):
+        topo = single_switch(4)
+        msize = kib(64)  # rendezvous regime: every data message is a flow
+        programs = get_algorithm("scheduled").build_programs(topo, msize)
+        run = run_programs(topo, programs, msize, NetworkParams(),
+                           telemetry=True)
+        assert len(run.telemetry.links.flows) == 4 * 3
+
+    def test_busiest_links_ranked(self):
+        topo = paper_example_cluster()
+        programs = get_algorithm("lam").build_programs(topo, kib(64))
+        run = run_programs(topo, programs, kib(64), NetworkParams(),
+                           telemetry=True)
+        top = run.telemetry.links.busiest_links(3)
+        assert len(top) == 3
+        assert top[0].utilization >= top[1].utilization >= top[2].utilization

@@ -1,0 +1,94 @@
+"""Perfetto/Chrome trace_event export checks."""
+
+import json
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.obs.perfetto import perfetto_events, perfetto_trace, write_perfetto
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import paper_example_cluster
+from repro.units import kib
+
+
+@pytest.fixture(scope="module")
+def telemetry():
+    topo = paper_example_cluster()
+    msize = kib(64)
+    programs = get_algorithm("scheduled").build_programs(topo, msize)
+    run = run_programs(topo, programs, msize, NetworkParams(), telemetry=True)
+    return run.telemetry
+
+
+@pytest.fixture(scope="module")
+def events(telemetry):
+    return perfetto_events(telemetry)
+
+
+class TestTraceEvents:
+    def test_json_serializable(self, telemetry):
+        text = json.dumps(perfetto_trace(telemetry))
+        back = json.loads(text)
+        assert isinstance(back["traceEvents"], list)
+        assert back["traceEvents"]
+        assert back["displayTimeUnit"] == "ms"
+        assert back["otherData"]["contention_free_verified"] is True
+
+    def test_process_metadata_names_all_four_tracks(self, events):
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"ranks", "links", "flows", "phases"}
+
+    def test_one_thread_per_rank(self, events, telemetry):
+        rank_threads = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        }
+        assert rank_threads == set(telemetry.machines)
+
+    def test_link_counter_events_present(self, events):
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert all(e["pid"] == 2 for e in counters)
+        assert all("flows" in e["args"] for e in counters)
+        # Contention-free run: no counter ever exceeds 1.
+        assert max(e["args"]["flows"] for e in counters) == 1
+
+    def test_flow_async_slices_pair_up(self, events):
+        begins = sorted(e["id"] for e in events if e["ph"] == "b")
+        ends = sorted(e["id"] for e in events if e["ph"] == "e")
+        assert begins and begins == ends
+        by_id = {}
+        for e in events:
+            if e["ph"] in ("b", "e"):
+                by_id.setdefault(e["id"], {})[e["ph"]] = e["ts"]
+        for pair in by_id.values():
+            assert pair["b"] <= pair["e"]
+
+    def test_phase_slices_cover_every_phase(self, events, telemetry):
+        slices = [e for e in events if e["ph"] == "X" and e["cat"] == "phase"]
+        assert len(slices) == len(telemetry.health.phases)
+        assert all(s["dur"] >= 0 for s in slices)
+
+    def test_timestamps_are_microseconds_and_nonnegative(self, events, telemetry):
+        timed = [e for e in events if "ts" in e]
+        assert all(e["ts"] >= 0 for e in timed)
+        horizon_us = telemetry.completion_time * 1e6
+        assert max(e["ts"] for e in timed) <= horizon_us + 1e-6
+
+    def test_sync_wait_slices_emitted(self, events):
+        waits = [e for e in events if e.get("cat") == "sync" and e["ph"] == "X"]
+        assert waits  # scheduled routine is pair-wise synchronized
+        assert all(e["dur"] >= 0 for e in waits)
+
+    def test_write_perfetto_file_loads(self, telemetry, tmp_path):
+        path = tmp_path / "trace.json"
+        write_perfetto(telemetry, str(path))
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["traceEvents"]

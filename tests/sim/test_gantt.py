@@ -56,6 +56,54 @@ class TestGantt:
         with pytest.raises(ReproError, match="empty"):
             render_rank_gantt(Trace())
 
+    def test_glyph_priority_in_shared_bin(self):
+        """When several events land in one cell, the most interesting
+        glyph wins: Y (sync) > s (send) > r (recv) > w (complete) > ."""
+        trace = Trace()
+        trace.add(0.0, "n0", "waitall_done")
+        trace.add(0.0, "n0", "post_recv", "n1")
+        trace.add(0.0, "n0", "post_send", "n1")
+        trace.add(0.0, "n0", "sync_wait", "n1")
+        trace.add(1.0, "n0", "post_send", "n1")  # pins the time span
+        text = render_rank_gantt(trace, width=4)
+        row = text.splitlines()[1]
+        cells = row.split("|")[1]
+        assert cells[0] == "Y"
+
+    def test_unknown_event_kind_renders_dot(self):
+        trace = Trace()
+        trace.add(0.0, "n0", "exotic_event")
+        trace.add(1.0, "n0", "another_exotic")
+        text = render_rank_gantt(trace, width=4)
+        cells = text.splitlines()[1].split("|")[1]
+        assert cells[0] == "." and cells[-1] == "."
+
+    def test_binning_edges(self):
+        """t=t0 lands in the first bin; t=t1 clamps into the last bin."""
+        trace = Trace()
+        trace.add(0.0, "n0", "post_send", "n1")
+        trace.add(2.0, "n0", "post_recv", "n1")
+        text = render_rank_gantt(trace, width=8)
+        cells = text.splitlines()[1].split("|")[1]
+        assert cells == "s      r"
+
+    def test_window_zoom(self):
+        trace = Trace()
+        trace.add(0.0, "n0", "post_send", "n1")
+        trace.add(1.0, "n0", "post_recv", "n1")
+        trace.add(2.0, "n0", "waitall_done")
+        text = render_rank_gantt(trace, width=4, t0=0.5, t1=1.5)
+        cells = text.splitlines()[1].split("|")[1]
+        # Only the recv post at t=1.0 is inside the window (mid-bin).
+        assert cells.strip() == "r"
+        assert "500" in text.splitlines()[0]  # window start in ms
+
+    def test_empty_window_rejected(self):
+        trace = Trace()
+        trace.add(0.0, "n0", "post_send", "n1")
+        with pytest.raises(ReproError, match="window"):
+            render_rank_gantt(trace, t0=5.0, t1=6.0)
+
 
 class TestPhaseMetrics:
     def test_latency_table(self, traced_run):
@@ -63,6 +111,22 @@ class TestPhaseMetrics:
         text = phase_latency_table(result.trace)
         assert "phase" in text
         assert len(text.splitlines()) == 1 + 3  # header + 3 phases
+
+    def test_latency_table_on_known_two_phase_trace(self):
+        trace = Trace()
+        trace.add(0.000, "n0", "post_send", "n1", 1, 0)
+        trace.add(0.010, "n1", "post_recv", "n0", 1, 0)
+        trace.add(0.040, "n0", "waitall_done", phase=0)
+        trace.add(0.050, "n0", "post_send", "n2", 2, 1)
+        trace.add(0.120, "n0", "waitall_done", phase=1)
+        text = phase_latency_table(trace)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 phases
+        assert "ops" in lines[0]
+        cols0 = lines[1].split()
+        assert cols0 == ["0", "0.00", "40.00", "40.00", "3"]
+        cols1 = lines[2].split()
+        assert cols1 == ["1", "50.00", "120.00", "70.00", "2"]
 
     def test_no_phases_rejected(self):
         trace = Trace()

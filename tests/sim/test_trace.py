@@ -1,5 +1,8 @@
 """Unit tests for the Trace container itself."""
 
+import pytest
+
+from repro.obs.bus import EventBus
 from repro.sim.trace import Trace, TraceRecord
 
 
@@ -52,3 +55,64 @@ class TestTrace:
         except AttributeError:
             mutated = False
         assert not mutated
+
+    def test_of_phase(self):
+        trace = self.make()
+        assert len(trace.of_phase(0)) == 3
+        assert [r.tag for r in trace.of_phase(1)] == [6]
+        assert trace.of_phase(99) == []
+
+    def test_between_inclusive_bounds(self):
+        trace = self.make()
+        assert len(trace.between(0.0, 2.0)) == 4
+        assert len(trace.between(0.5, 1.0)) == 2
+        assert [r.time for r in trace.between(0.5, 0.5)] == [0.5]
+        assert trace.between(3.0, 4.0) == []
+
+
+class TestRingBuffer:
+    def test_cap_keeps_most_recent_and_counts_drops(self):
+        trace = Trace(max_records=3)
+        for i in range(5):
+            trace.add(float(i), "n0", "op", tag=i)
+        assert len(trace) == 3
+        assert [r.tag for r in trace.records] == [2, 3, 4]
+        assert trace.dropped == 2
+
+    def test_uncapped_never_drops(self):
+        trace = Trace()
+        for i in range(100):
+            trace.add(float(i), "n0", "op", tag=i)
+        assert len(trace) == 100
+        assert trace.dropped == 0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Trace(max_records=0)
+        with pytest.raises(ValueError, match="positive"):
+            Trace(max_records=-5)
+
+    def test_queries_work_on_ring_buffer(self):
+        trace = Trace(max_records=4)
+        for i in range(8):
+            trace.add(float(i), "n0", "op", phase=i % 2)
+        assert [r.time for r in trace.of_phase(0)] == [4.0, 6.0]
+        assert len(trace.between(5.0, 7.0)) == 3
+
+
+class TestBusAttachment:
+    def test_attach_ingests_published_records(self):
+        bus = EventBus()
+        trace = Trace()
+        trace.attach(bus)
+        bus.publish(TraceRecord(0.0, "n0", "post_send", "n1", 1, 0))
+        bus.publish(TraceRecord(1.0, "n1", "post_recv", "n0", 1, 0))
+        assert len(trace) == 2
+        assert trace.first("n0", "post_send") is not None
+
+    def test_disabled_trace_ignores_bus_records(self):
+        bus = EventBus()
+        trace = Trace(enabled=False)
+        trace.attach(bus)
+        bus.publish(TraceRecord(0.0, "n0", "post_send"))
+        assert len(trace) == 0

@@ -81,6 +81,105 @@ class TestSimulate:
         ) == 0
         assert "bruck" in capsys.readouterr().out
 
+    def test_topology_flag_and_algorithm_flag(self, capsys):
+        assert main(
+            ["simulate", "--topology", "fig1", "--algorithm", "scheduled",
+             "--msize", "64KB"]
+        ) == 0
+        out = capsys.readouterr().out
+        # "scheduled" aliases the generated routine; exactly one row.
+        assert "generated" in out
+        assert len(out.strip().splitlines()) == 1
+        assert "max link multiplexing 1" in out
+
+    def test_missing_topology_rejected(self, capsys):
+        assert main(["simulate", "--msize", "64KB"]) == 2
+        assert "topology" in capsys.readouterr().err
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        trace_path = str(tmp_path / "t.json")
+        metrics_path = str(tmp_path / "m.json")
+        assert main(
+            ["simulate", "--algorithm", "scheduled", "--topology", "fig1",
+             "--msize", "64KB", "--trace-out", trace_path,
+             "--metrics-out", metrics_path]
+        ) == 0
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+        with open(metrics_path) as fh:
+            metrics = json.load(fh)
+        assert metrics["contention_free_verified"] is True
+        assert metrics["total_contention_events"] == 0
+        assert metrics["completion_time_ms"] > 0
+
+    def test_contention_contrast_scheduled_vs_lam(self, tmp_path, capsys):
+        """Acceptance: per-link contention-event count is 0 for the
+        scheduled algorithm and nonzero for LAM on the same topology."""
+        import json
+
+        counts = {}
+        for name in ("scheduled", "lam"):
+            path = str(tmp_path / f"{name}.json")
+            assert main(
+                ["simulate", "--algorithm", name, "--topology", "fig1",
+                 "--msize", "64KB", "--metrics-out", path]
+            ) == 0
+            with open(path) as fh:
+                counts[name] = json.load(fh)["total_contention_events"]
+        assert counts["scheduled"] == 0
+        assert counts["lam"] > 0
+
+    def test_multi_algorithm_metrics_get_derived_paths(self, tmp_path):
+        import json
+        import os
+
+        base = str(tmp_path / "m.json")
+        assert main(
+            ["simulate", "fig1", "--msize", "64KB",
+             "--algorithms", "lam", "generated", "--metrics-out", base]
+        ) == 0
+        for name in ("lam", "generated"):
+            derived = str(tmp_path / f"m-{name}.json")
+            assert os.path.exists(derived), derived
+            with open(derived) as fh:
+                assert "total_contention_events" in json.load(fh)
+
+
+class TestTraceCommand:
+    def test_writes_perfetto_and_summary(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "trace.json")
+        assert main(
+            ["trace", "fig1", "--msize", "64KB", "-o", out_path, "--phases"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "contention" in out
+        assert "phase" in out
+        assert out_path in out
+        with open(out_path) as fh:
+            trace = json.load(fh)
+        phs = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "i", "X", "C", "b", "e"} <= phs
+
+    def test_metrics_out(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.json")
+        assert main(
+            ["trace", "fig1", "--algorithm", "lam", "--msize", "64KB",
+             "-o", out_path, "--metrics-out", metrics_path]
+        ) == 0
+        with open(metrics_path) as fh:
+            metrics = json.load(fh)
+        assert metrics["contention_free_verified"] is False
+        assert metrics["total_contention_events"] > 0
+        assert "links" in metrics and "schedule_health" in metrics
+
 
 class TestStp:
     @pytest.fixture
@@ -159,3 +258,22 @@ class TestRepro:
         assert "paper's measured milliseconds" in out
         assert "speedups" in out
         assert "peak = 2400.0" in out
+
+    def test_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "repro.json")
+        code = main(
+            ["repro", "topology-a", "--sizes", "64KB", "--repetitions", "1",
+             "--metrics-out", path]
+        )
+        assert code == 0
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["experiment"] == "topology-a"
+        cells = payload["cells"]
+        assert cells
+        by_alg = {c["algorithm"]: c for c in cells}
+        assert by_alg["generated"]["link_stats"]["contention_free_verified"]
+        assert not by_alg["lam"]["link_stats"]["contention_free_verified"]
+        assert all(c["mean_time_ms"] > 0 for c in cells)
