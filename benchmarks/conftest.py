@@ -36,7 +36,21 @@ _RESULT_CACHE: Dict[str, ExperimentResult] = {}
 
 
 def run_cached(experiment: Experiment, **kwargs) -> ExperimentResult:
-    key = experiment.name + repr(sorted(kwargs.items()))
+    # The key must capture everything that changes the result — not
+    # just the name and the call kwargs.  Two experiments sharing a
+    # name (or one whose defaults changed between sessions) must not
+    # collide, so fold in the topology fingerprint and the effective
+    # sizes/repetitions the run will actually use.
+    from repro.obs.ledger import topology_fingerprint
+
+    effective = {
+        "topology": topology_fingerprint(experiment.topology_factory()),
+        "sizes": tuple(kwargs.get("sizes") or experiment.sizes),
+        "repetitions": kwargs.get("repetitions") or experiment.repetitions,
+    }
+    key = experiment.name + repr(sorted(kwargs.items())) + repr(
+        sorted(effective.items())
+    )
     if key not in _RESULT_CACHE:
         _RESULT_CACHE[key] = experiment.run(**kwargs)
     return _RESULT_CACHE[key]
@@ -79,7 +93,11 @@ def pytest_sessionfinish(session, exitstatus):
     topo = topology_a()
     msize = 64 * 1024
     params = NetworkParams(seed=0)
+    from repro._version import __version__
+
     payload: Dict[str, object] = {
+        "schema": 1,
+        "repro_version": __version__,
         "benchmark": "simulator",
         "topology": "a",
         "msize": msize,

@@ -23,6 +23,8 @@ Subsystems (see DESIGN.md for the full inventory):
 * :mod:`repro.harness` — the paper's experiments and reports.
 """
 
+import logging as _logging
+
 from repro._version import __version__
 from repro.errors import (
     CodegenError,
@@ -56,6 +58,11 @@ from repro.core import (
 from repro.algorithms import get_algorithm
 from repro.api import Communicator
 from repro.sim import NetworkParams, run_programs
+
+# Library logging convention: every module logs under the ``repro.*``
+# namespace and the package stays silent unless the application (or the
+# CLI's ``-v``) configures a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "Communicator",

@@ -8,6 +8,14 @@ Subcommands mirror the workflow of the paper's routine generator:
 * ``simulate`` — run one algorithm on the simulator, report timing.
 * ``trace``    — flight-recorder run: Perfetto trace + metrics JSON.
 * ``repro``    — regenerate a paper experiment table (Figures 6-8).
+* ``report``   — query the persistent run ledger: ``list`` / ``show`` /
+  ``compare`` / ``regress`` (the CI perf gate).
+
+``simulate``, ``repro`` and ``campaign`` append a schema-versioned
+record to the run ledger (``~/.cache/repro-aapc/ledger/`` unless
+``--ledger-dir`` / ``$REPRO_AAPC_LEDGER_DIR`` says otherwise; disable
+with ``--no-ledger``).  Pass ``-v``/``-vv`` after the subcommand for
+human-readable logging from ``repro.*`` loggers.
 
 Topology input is the text format of
 :mod:`repro.topology.serialization`, or one of the built-in names
@@ -17,8 +25,10 @@ Topology input is the text format of
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from repro.algorithms import available_algorithms, get_algorithm
 from repro.algorithms.scheduled import GeneratedAlltoall
@@ -58,11 +68,74 @@ _BUILTIN_TOPOLOGIES = {
     "fig1": paper_example_cluster,
 }
 
+logger = logging.getLogger("repro.cli")
+
 
 def _load_topology(spec: str) -> Topology:
     if spec in _BUILTIN_TOPOLOGIES:
         return _BUILTIN_TOPOLOGIES[spec]()
     return load_topology(spec)
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Wire a human-readable handler onto the ``repro`` logger tree.
+
+    The package root logger carries only a NullHandler by default (a
+    library must not log uninvited); ``-v`` turns on INFO, ``-vv``
+    DEBUG.  Idempotent so repeated ``main()`` calls (tests) do not
+    stack handlers.
+    """
+    if verbosity <= 0:
+        return
+    root = logging.getLogger("repro")
+    root.setLevel(logging.DEBUG if verbosity >= 2 else logging.INFO)
+    for handler in root.handlers:
+        if getattr(handler, "_repro_cli", False):
+            return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+
+
+def _params_dict(params: NetworkParams) -> Dict[str, object]:
+    return {
+        f: getattr(params, f) for f in type(params).__dataclass_fields__
+    }
+
+
+def _append_ledger(
+    args: argparse.Namespace,
+    *,
+    command: str,
+    topology_spec: str,
+    fingerprint: str,
+    num_machines: int,
+    msize: Optional[int],
+    params: Optional[NetworkParams],
+    entries,
+) -> None:
+    """Append one run record unless the user opted out (best-effort)."""
+    if getattr(args, "no_ledger", False):
+        return
+    from repro.obs.ledger import RunLedger, RunRecord
+
+    record = RunRecord.new(
+        command,
+        topology_spec=topology_spec,
+        topology_fingerprint=fingerprint,
+        num_machines=num_machines,
+        msize=msize,
+        params=_params_dict(params) if params is not None else {},
+        algorithms=entries,
+    )
+    ledger = RunLedger(getattr(args, "ledger_dir", None))
+    try:
+        ledger.append(record)
+    except OSError as exc:
+        print(f"warning: could not append to ledger: {exc}", file=sys.stderr)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -144,6 +217,10 @@ def _derived_path(path: str, name: str, multiple: bool) -> str:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.harness.metrics import summarize_links
+    from repro.obs.ledger import AlgorithmEntry, topology_fingerprint
+    from repro.obs.profiling import PipelineProfiler
+
     spec = _resolve_topology_arg(args)
     if spec is None:
         print("simulate: a topology is required (positional or --topology)",
@@ -155,9 +232,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     names = [args.algorithm] if args.algorithm else args.algorithms
     want_telemetry = bool(args.trace_out or args.metrics_out)
     multiple = len(names) > 1
+    entries: Dict[str, AlgorithmEntry] = {}
     for name in names:
         algorithm = get_algorithm(name)
-        programs = algorithm.build_programs(topo, msize)
+        profiler = PipelineProfiler()
+        t0 = time.perf_counter()
+        with profiler.activate():
+            programs = algorithm.build_programs(topo, msize)
+        build_seconds = time.perf_counter() - t0
+        profile = profiler.report()
+        logger.info(
+            "%s: built programs in %.1f ms (%d pipeline spans)",
+            algorithm.name, build_seconds * 1e3, len(profile.spans),
+        )
         result = run_programs(
             topo, programs, msize, params, telemetry=want_telemetry
         )
@@ -169,6 +256,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"max link multiplexing {result.max_edge_multiplexing}"
         )
         if result.telemetry is not None:
+            result.telemetry.pipeline = profile
             verdict = (
                 "contention-free"
                 if result.telemetry.contention_free_verified
@@ -184,18 +272,44 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             path = _derived_path(args.metrics_out, name, multiple)
             result.telemetry.write_metrics(path)
             print(f"  wrote metrics {path}")
+        entries[algorithm.name] = AlgorithmEntry(
+            completion_time_ms=result.completion_time * 1e3,
+            throughput_mbps=bytes_per_sec_to_mbps(throughput),
+            scheduler_runtime_ms=build_seconds * 1e3,
+            telemetry=(
+                summarize_links(result.telemetry).as_dict()
+                if result.telemetry is not None
+                else None
+            ),
+            pipeline=profile.as_dicts(),
+        )
+    _append_ledger(
+        args,
+        command="simulate",
+        topology_spec=spec,
+        fingerprint=topology_fingerprint(topo),
+        num_machines=topo.num_machines,
+        msize=msize,
+        params=params,
+        entries=entries,
+    )
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.profiling import PipelineProfiler
+
     topo = _load_topology(args.topology)
     msize = parse_size(args.msize)
     algorithm = get_algorithm(args.algorithm)
-    programs = algorithm.build_programs(topo, msize)
+    profiler = PipelineProfiler()
+    with profiler.activate():
+        programs = algorithm.build_programs(topo, msize)
     result = run_programs(
         topo, programs, msize, NetworkParams(seed=args.seed), telemetry=True
     )
     telemetry = result.telemetry
+    telemetry.pipeline = profiler.report()
     print(f"{algorithm.describe(topo, msize)} on {args.topology}, "
           f"msize {args.msize}: flight recorder")
     print(telemetry.summary())
@@ -278,15 +392,39 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.harness.campaign import run_campaign
+    import hashlib
 
+    from repro.harness.campaign import run_campaign
+    from repro.obs.ledger import AlgorithmEntry
+
+    msize = parse_size(args.msize)
     summary = run_campaign(
         num_topologies=args.topologies,
-        msize=parse_size(args.msize),
+        msize=msize,
         repetitions=args.repetitions,
         base_seed=args.seed,
     )
     print(summary.render())
+    entries: Dict[str, AlgorithmEntry] = {}
+    for name in summary.algorithms:
+        times = [row.times[name] for row in summary.rows]
+        entries[name] = AlgorithmEntry(
+            completion_time_ms=sum(times) / len(times) * 1e3,
+        )
+    config = (
+        f"campaign:topologies={args.topologies}:msize={msize}"
+        f":repetitions={args.repetitions}:seed={args.seed}"
+    )
+    _append_ledger(
+        args,
+        command="campaign",
+        topology_spec=f"random x{args.topologies}",
+        fingerprint=hashlib.sha256(config.encode()).hexdigest()[:16],
+        num_machines=0,
+        msize=msize,
+        params=None,
+        entries=entries,
+    )
     return 0
 
 
@@ -340,6 +478,157 @@ def _cmd_repro(args: argparse.Namespace) -> int:
     if "generated" in result.algorithms():
         print("\nspeedups (paper convention, + means generated is faster):")
         print(speedup_summary(result))
+
+    from repro.obs.ledger import AlgorithmEntry, topology_fingerprint
+
+    entries: Dict[str, AlgorithmEntry] = {}
+    for p in result.points:
+        entries[f"{p.algorithm}@{p.msize}"] = AlgorithmEntry(
+            completion_time_ms=p.mean_time * 1e3,
+            throughput_mbps=p.throughput_mbps,
+            scheduler_runtime_ms=(
+                p.build_time * 1e3 if p.build_time is not None else None
+            ),
+            telemetry=p.link_stats.as_dict() if p.link_stats else None,
+        )
+    _append_ledger(
+        args,
+        command="repro",
+        topology_spec=experiment.name,
+        fingerprint=topology_fingerprint(result.topology),
+        num_machines=result.topology.num_machines,
+        msize=None,
+        params=result.params,
+        entries=entries,
+    )
+    return 0
+
+
+def _cmd_report_list(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        records = ledger.records()
+    except ReproError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"ledger {ledger.path} is empty")
+        return 0
+    print(f"{len(records)} run(s) in {ledger.path}")
+    print(f"{'run id':<24} {'when (UTC)':<20} {'command':<9} "
+          f"{'topology':<14} {'algorithms'}")
+    for r in records:
+        algs = ", ".join(
+            f"{name}={entry.completion_time_ms:.1f}ms"
+            for name, entry in sorted(r.algorithms.items())
+        )
+        print(f"{r.run_id:<24} {r.timestamp:<20} {r.command:<9} "
+              f"{r.topology_spec:<14} {algs}")
+    return 0
+
+
+def _cmd_report_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs.ledger import RunLedger
+
+    try:
+        record = RunLedger(args.ledger_dir).find(args.run)
+    except ReproError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_report_compare(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.ledger import RunLedger, compare_records
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        a = ledger.find(args.a)
+        b = ledger.find(args.b)
+    except ReproError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if (
+        a.topology_fingerprint
+        and b.topology_fingerprint
+        and a.topology_fingerprint != b.topology_fingerprint
+    ):
+        print(
+            "warning: runs used different topologies "
+            f"({a.topology_fingerprint} vs {b.topology_fingerprint}); "
+            "deltas are not like-for-like",
+            file=sys.stderr,
+        )
+    deltas = compare_records(a, b)
+    if not deltas:
+        print("no comparable metrics between the two runs", file=sys.stderr)
+        return 2
+    print(f"{a.run_id} -> {b.run_id}")
+    for d in deltas:
+        print(f"  {d}")
+    return 0
+
+
+def _cmd_report_regress(args: argparse.Namespace) -> int:
+    """The perf gate: non-zero exit on completion-time or
+    scheduler-runtime regressions beyond the threshold."""
+    from repro.errors import ReproError
+    from repro.obs.ledger import (
+        RunLedger,
+        compare_records,
+        load_baseline,
+        parse_threshold,
+    )
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        threshold = parse_threshold(args.threshold)
+        baseline = load_baseline(args.baseline, ledger)
+        current = ledger.find(args.run)
+    except ReproError as exc:
+        print(f"report regress: {exc}", file=sys.stderr)
+        return 2
+    if (
+        baseline.topology_fingerprint
+        and current.topology_fingerprint
+        and baseline.topology_fingerprint != current.topology_fingerprint
+    ):
+        print(
+            "warning: baseline and current runs used different topologies; "
+            "the gate may be meaningless",
+            file=sys.stderr,
+        )
+    deltas = compare_records(baseline, current)
+    if not deltas:
+        print(
+            "report regress: no comparable metrics between baseline "
+            f"{baseline.run_id} and run {current.run_id}",
+            file=sys.stderr,
+        )
+        return 2
+    regressions = [d for d in deltas if d.ratio > 1.0 + threshold]
+    print(
+        f"baseline {baseline.run_id}  vs  {current.run_id}  "
+        f"(threshold {threshold * 100:.1f}%)"
+    )
+    for d in deltas:
+        flag = "  REGRESSION" if d in regressions else ""
+        print(f"  {d}{flag}")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{threshold * 100:.1f}%"
+        )
+        return 1
+    print("OK: all metrics within threshold")
     return 0
 
 
@@ -351,11 +640,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="topology load/bottleneck analysis")
+    # Shared flags.  argparse subparser defaults override main-parser
+    # values, so ``-v`` lives on a parent attached to every subcommand
+    # rather than on the top-level parser.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable repro.* logging (-v info, -vv debug)",
+    )
+    ledger_opts = argparse.ArgumentParser(add_help=False)
+    ledger_opts.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: "
+             f"$REPRO_AAPC_LEDGER_DIR or ~/.cache/repro-aapc/ledger)",
+    )
+    ledger_opts.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run to the run ledger",
+    )
+
+    p = sub.add_parser("analyze", parents=[common],
+                       help="topology load/bottleneck analysis")
     p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("schedule", help="print the contention-free schedule")
+    p = sub.add_parser("schedule", parents=[common],
+                       help="print the contention-free schedule")
     p.add_argument("topology")
     p.add_argument("--root", default=None, help="force the scheduling root")
     p.add_argument("--syncs", action="store_true", help="also print sync plan")
@@ -363,13 +673,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also export the schedule as JSON")
     p.set_defaults(func=_cmd_schedule)
 
-    p = sub.add_parser("codegen", help="emit the customized MPI_Alltoall in C")
+    p = sub.add_parser("codegen", parents=[common],
+                       help="emit the customized MPI_Alltoall in C")
     p.add_argument("topology")
     p.add_argument("--root", default=None)
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_codegen)
 
-    p = sub.add_parser("simulate", help="simulate algorithms on a topology")
+    p = sub.add_parser("simulate", parents=[common, ledger_opts],
+                       help="simulate algorithms on a topology")
     p.add_argument("topology", nargs="?", default=None,
                    help="file path or builtin: a, b, c, fig1")
     p.add_argument("--topology", dest="topology_opt", default=None,
@@ -391,7 +703,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
-        "trace", help="flight-recorder run: Perfetto trace + metrics"
+        "trace", parents=[common],
+        help="flight-recorder run: Perfetto trace + metrics",
     )
     p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
     p.add_argument("--algorithm", default="generated",
@@ -407,14 +720,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
-        "stp", help="reduce a redundant physical wiring to its forwarding tree"
+        "stp", parents=[common],
+        help="reduce a redundant physical wiring to its forwarding tree",
     )
     p.add_argument("wiring", help="physical wiring file (switch/machine/trunk)")
     p.add_argument("-o", "--output", default=None,
                    help="write the forwarding topology here")
     p.set_defaults(func=_cmd_stp)
 
-    p = sub.add_parser("gantt", help="per-rank execution timeline")
+    p = sub.add_parser("gantt", parents=[common],
+                       help="per-rank execution timeline")
     p.add_argument("topology")
     p.add_argument("--algorithm", default="generated",
                    choices=available_algorithms())
@@ -428,7 +743,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_gantt)
 
     p = sub.add_parser(
-        "inspect", help="static contention analysis of an algorithm"
+        "inspect", parents=[common],
+        help="static contention analysis of an algorithm",
     )
     p.add_argument("topology")
     p.add_argument("--algorithm", default="lam", choices=available_algorithms())
@@ -436,7 +752,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser(
-        "campaign", help="compare algorithms over random topologies"
+        "campaign", parents=[common, ledger_opts],
+        help="compare algorithms over random topologies",
     )
     p.add_argument("--topologies", type=int, default=8)
     p.add_argument("--msize", default="128KB")
@@ -444,7 +761,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_campaign)
 
-    p = sub.add_parser("repro", help="regenerate a paper experiment")
+    p = sub.add_parser("repro", parents=[common, ledger_opts],
+                       help="regenerate a paper experiment")
     p.add_argument("experiment", help=f"one of {sorted(EXPERIMENTS)}")
     p.add_argument("--sizes", nargs="*", default=None, help="e.g. 8KB 64KB")
     p.add_argument("--repetitions", type=int, default=3)
@@ -452,11 +770,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write per-cell metrics incl. link stats as JSON")
     p.set_defaults(func=_cmd_repro)
+
+    report = sub.add_parser(
+        "report", help="inspect and compare runs from the run ledger"
+    )
+    rsub = report.add_subparsers(dest="report_command", required=True)
+    rdir = argparse.ArgumentParser(add_help=False)
+    rdir.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: "
+             "$REPRO_AAPC_LEDGER_DIR or ~/.cache/repro-aapc/ledger)",
+    )
+
+    p = rsub.add_parser("list", parents=[common, rdir],
+                        help="list recorded runs")
+    p.set_defaults(func=_cmd_report_list)
+
+    p = rsub.add_parser("show", parents=[common, rdir],
+                        help="dump one run record as JSON")
+    p.add_argument("run", nargs="?", default="latest",
+                   help="run id, unique prefix, or 'latest'")
+    p.set_defaults(func=_cmd_report_show)
+
+    p = rsub.add_parser("compare", parents=[common, rdir],
+                        help="metric deltas between two runs")
+    p.add_argument("a", help="baseline run id / prefix / 'latest'")
+    p.add_argument("b", help="current run id / prefix / 'latest'")
+    p.set_defaults(func=_cmd_report_compare)
+
+    p = rsub.add_parser(
+        "regress", parents=[common, rdir],
+        help="perf gate: fail when metrics regress past a threshold",
+    )
+    p.add_argument("--baseline", required=True,
+                   help="baseline: ledger run ref or a JSON record file")
+    p.add_argument("--run", default="latest",
+                   help="run to check (default: latest)")
+    p.add_argument("--threshold", default="5%",
+                   help="allowed slowdown, e.g. 5%% or 0.05 (default 5%%)")
+    p.set_defaults(func=_cmd_report_regress)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(getattr(args, "verbose", 0))
     return args.func(args)
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProgramError
+from repro.obs.profiling import add_counters, pipeline_span
 from repro.core.schedule import PhasedSchedule
 from repro.core.synchronization import SyncPlan
 
@@ -185,6 +186,15 @@ def build_programs(
     if sync_mode == "pairwise" and sync_plan is None:
         raise ProgramError("pairwise sync_mode requires a sync plan")
 
+    with pipeline_span("program_emission"):
+        return _emit_programs(schedule, sync_plan, sync_mode)
+
+
+def _emit_programs(
+    schedule: PhasedSchedule,
+    sync_plan: Optional[SyncPlan],
+    sync_mode: str,
+) -> Dict[str, Program]:
     machines = schedule.topology.machines
     programs: Dict[str, Program] = {m: Program(m) for m in machines}
 
@@ -245,5 +255,10 @@ def build_programs(
             if sync_mode == "barrier":
                 prog.append(Op(OpKind.BARRIER, phase=p))
 
+    add_counters(
+        ranks=len(programs),
+        ops=sum(len(p) for p in programs.values()),
+        sync_messages=len(sync_plan.syncs) if sync_plan is not None else 0,
+    )
     validate_programs(programs)
     return programs

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.profiling import add_counters, pipeline_span
 from repro.core.program import OpKind, Program
 from repro.topology.graph import Edge, Topology
 from repro.topology.paths import PathOracle
@@ -80,43 +81,49 @@ def analyze_programs(
     oracle: Optional[PathOracle] = None,
 ) -> ContentionReport:
     """Build a :class:`ContentionReport` for a program set."""
-    if oracle is None:
-        oracle = PathOracle(topology)
-    phase_messages: Dict[int, List[Tuple[str, str, int]]] = {}
-    edge_bytes: Dict[Edge, int] = {}
-    for rank, program in programs.items():
-        for op in program.ops:
-            if op.kind not in (OpKind.ISEND, OpKind.SEND):
-                continue
-            nbytes = op.wire_size(msize)
-            phase_messages.setdefault(op.phase, []).append(
-                (rank, op.peer, nbytes)
-            )
-            for edge in oracle.path_edges(rank, op.peer):
-                edge_bytes[edge] = edge_bytes.get(edge, 0) + nbytes
+    with pipeline_span("program_analysis"):
+        if oracle is None:
+            oracle = PathOracle(topology)
+        phase_messages: Dict[int, List[Tuple[str, str, int]]] = {}
+        edge_bytes: Dict[Edge, int] = {}
+        for rank, program in programs.items():
+            for op in program.ops:
+                if op.kind not in (OpKind.ISEND, OpKind.SEND):
+                    continue
+                nbytes = op.wire_size(msize)
+                phase_messages.setdefault(op.phase, []).append(
+                    (rank, op.peer, nbytes)
+                )
+                for edge in oracle.path_edges(rank, op.peer):
+                    edge_bytes[edge] = edge_bytes.get(edge, 0) + nbytes
 
-    worst = 0
-    hotspots: List[Tuple[int, Edge, int]] = []
-    for phase, msgs in sorted(phase_messages.items()):
-        counts: Dict[Edge, int] = {}
-        for src, dst, _nbytes in msgs:
-            for edge in oracle.path_edges(src, dst):
-                counts[edge] = counts.get(edge, 0) + 1
-        if not counts:
-            continue
-        phase_worst = max(counts.values())
-        if phase_worst > worst:
-            worst = phase_worst
-            hotspots = []
-        if phase_worst == worst and worst > 1:
-            hotspots.extend(
-                (phase, edge, count)
-                for edge, count in counts.items()
-                if count == worst
-            )
-    return ContentionReport(
-        phase_messages=phase_messages,
-        max_phase_edge_concurrency=worst,
-        hotspots=hotspots,
-        edge_bytes=edge_bytes,
-    )
+        worst = 0
+        hotspots: List[Tuple[int, Edge, int]] = []
+        for phase, msgs in sorted(phase_messages.items()):
+            counts: Dict[Edge, int] = {}
+            for src, dst, _nbytes in msgs:
+                for edge in oracle.path_edges(src, dst):
+                    counts[edge] = counts.get(edge, 0) + 1
+            if not counts:
+                continue
+            phase_worst = max(counts.values())
+            if phase_worst > worst:
+                worst = phase_worst
+                hotspots = []
+            if phase_worst == worst and worst > 1:
+                hotspots.extend(
+                    (phase, edge, count)
+                    for edge, count in counts.items()
+                    if count == worst
+                )
+        add_counters(
+            phases=len(phase_messages),
+            edges=len(edge_bytes),
+            max_edge_concurrency=worst,
+        )
+        return ContentionReport(
+            phase_messages=phase_messages,
+            max_phase_edge_concurrency=worst,
+            hotspots=hotspots,
+            edge_bytes=edge_bytes,
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import SchedulingError
+from repro.obs.profiling import add_counters, pipeline_span
 from repro.core.assignment import AssignmentState, assign_messages
 from repro.core.assignment import (
     _step1_t0_to_others,
@@ -67,33 +68,42 @@ def schedule_aapc(
     PhasedSchedule
         ``|M_0| * (|M| - |M_0|)`` contention-free phases realising AAPC.
     """
-    if not topology.validated:
-        topology.validate()
-    m = topology.num_machines
-    if m <= 2:
-        return _trivial_schedule(topology)
+    with pipeline_span("schedule_aapc"):
+        if not topology.validated:
+            topology.validate()
+        m = topology.num_machines
+        if m <= 2:
+            schedule = _trivial_schedule(topology)
+            add_counters(phases=schedule.num_phases, messages=len(schedule))
+            return schedule
 
-    info = identify_root(topology, root)
-    gs = build_global_schedule(info.sizes)
+        with pipeline_span("root_identification"):
+            info = identify_root(topology, root)
+        with pipeline_span("global_schedule"):
+            gs = build_global_schedule(info.sizes)
 
-    if local_embedding == "constructive":
-        try:
-            schedule = assign_messages(topology, info, gs)
-        except SchedulingError:
-            # Defence in depth: the constructive embedding is proven for
-            # valid inputs, but fall back to matching rather than fail.
-            schedule = _assign_with_matching(topology, info, gs)
-    elif local_embedding == "matching":
-        schedule = _assign_with_matching(topology, info, gs)
-    else:
-        raise SchedulingError(
-            f"unknown local_embedding {local_embedding!r}; expected "
-            "'constructive' or 'matching'"
-        )
+        with pipeline_span("phase_partitioning"):
+            if local_embedding == "constructive":
+                try:
+                    schedule = assign_messages(topology, info, gs)
+                except SchedulingError:
+                    # Defence in depth: the constructive embedding is
+                    # proven for valid inputs, but fall back to matching
+                    # rather than fail.
+                    schedule = _assign_with_matching(topology, info, gs)
+            elif local_embedding == "matching":
+                schedule = _assign_with_matching(topology, info, gs)
+            else:
+                raise SchedulingError(
+                    f"unknown local_embedding {local_embedding!r}; expected "
+                    "'constructive' or 'matching'"
+                )
+        add_counters(phases=schedule.num_phases, messages=len(schedule))
 
-    if verify:
-        verify_schedule(schedule)
-    return schedule
+        if verify:
+            with pipeline_span("verify_schedule"):
+                verify_schedule(schedule)
+        return schedule
 
 
 def _trivial_schedule(topology: Topology) -> PhasedSchedule:

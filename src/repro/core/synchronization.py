@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulingError
+from repro.obs.profiling import add_counters, pipeline_span
 from repro.core.schedule import PhasedSchedule, ScheduledMessage
 from repro.topology.graph import Edge
 from repro.topology.paths import PathOracle
@@ -115,36 +116,58 @@ def build_sync_plan(
         "synchronize every conflicting pair of consecutive edge users"
         plan that the ablation benchmark compares against.
     """
-    if oracle is None:
-        oracle = PathOracle(schedule.topology)
-    messages = schedule.all_messages()
-    stats = SyncStats(num_messages=len(messages))
-    index: Dict[ScheduledMessage, int] = {m: i for i, m in enumerate(messages)}
+    with pipeline_span("sync_plan"):
+        if oracle is None:
+            oracle = PathOracle(schedule.topology)
+        messages = schedule.all_messages()
+        stats = SyncStats(num_messages=len(messages))
+        index: Dict[ScheduledMessage, int] = {
+            m: i for i, m in enumerate(messages)
+        }
 
-    deps = _conflict_dependences(schedule, oracle, index)
-    stats.num_conflict_deps = len(deps)
+        with pipeline_span("dependence_graph"):
+            deps = _conflict_dependences(schedule, oracle, index)
+            free = _program_order_edges(messages, index)
+            add_counters(
+                graph_nodes=len(messages),
+                conflict_edges=len(deps),
+                program_order_edges=len(free),
+            )
+        stats.num_conflict_deps = len(deps)
 
-    free = _program_order_edges(messages, index)
+        needs_sync: List[Tuple[int, int]] = []
+        for a, b in deps:
+            if elide_program_order and _directly_free(
+                messages[a], messages[b]
+            ):
+                stats.num_program_order_free += 1
+            else:
+                needs_sync.append((a, b))
+        stats.num_before_reduction = len(needs_sync)
 
-    needs_sync: List[Tuple[int, int]] = []
-    for a, b in deps:
-        if elide_program_order and _directly_free(messages[a], messages[b]):
-            stats.num_program_order_free += 1
+        if remove_redundant and needs_sync:
+            with pipeline_span("transitive_reduction"):
+                kept = _transitive_reduction(
+                    messages,
+                    needs_sync,
+                    free if elide_program_order else [],
+                    index,
+                )
+                add_counters(
+                    syncs_before_reduction=len(needs_sync),
+                    syncs_after_reduction=len(kept),
+                )
         else:
-            needs_sync.append((a, b))
-    stats.num_before_reduction = len(needs_sync)
-
-    if remove_redundant and needs_sync:
-        kept = _transitive_reduction(
-            messages, needs_sync, free if elide_program_order else [], index
+            kept = needs_sync
+        stats.num_after_reduction = len(kept)
+        add_counters(
+            syncs_before_reduction=stats.num_before_reduction,
+            syncs_after_reduction=stats.num_after_reduction,
         )
-    else:
-        kept = needs_sync
-    stats.num_after_reduction = len(kept)
 
-    syncs = [SyncMessage(messages[a], messages[b]) for a, b in kept]
-    syncs.sort(key=lambda s: (s.after.phase, s.before.phase, s.after.src))
-    return SyncPlan(schedule=schedule, syncs=syncs, stats=stats)
+        syncs = [SyncMessage(messages[a], messages[b]) for a, b in kept]
+        syncs.sort(key=lambda s: (s.after.phase, s.before.phase, s.after.src))
+        return SyncPlan(schedule=schedule, syncs=syncs, stats=stats)
 
 
 # ----------------------------------------------------------------------

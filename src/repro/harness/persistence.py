@@ -13,6 +13,7 @@ import io
 import json
 from typing import IO, Union
 
+from repro._version import __version__
 from repro.errors import ReproError
 from repro.harness.runner import ExperimentResult, MeasurementPoint
 from repro.sim.params import NetworkParams
@@ -26,6 +27,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
     """A JSON-serialisable dict for an experiment result."""
     return {
         "schema": SCHEMA_VERSION,
+        "repro_version": __version__,
         "name": result.name,
         "topology": dumps_topology(result.topology),
         "params": {
@@ -44,6 +46,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
                 "throughput_mbps": p.throughput_mbps,
                 "peak_concurrent_flows": p.peak_concurrent_flows,
                 "max_edge_multiplexing": p.max_edge_multiplexing,
+                "build_time": p.build_time,
             }
             for p in result.points
         ],
@@ -52,9 +55,16 @@ def result_to_dict(result: ExperimentResult) -> dict:
 
 def result_from_dict(data: dict) -> ExperimentResult:
     """Inverse of :func:`result_to_dict`."""
-    if data.get("schema") != SCHEMA_VERSION:
+    schema = data.get("schema")
+    if isinstance(schema, int) and schema > SCHEMA_VERSION:
         raise ReproError(
-            f"unsupported result schema {data.get('schema')!r}; "
+            f"result file uses schema {schema}, but this version of repro "
+            f"({__version__}) reads up to schema {SCHEMA_VERSION}; "
+            "upgrade repro to read it"
+        )
+    if schema != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported result schema {schema!r}; "
             f"expected {SCHEMA_VERSION}"
         )
     params_data = dict(data["params"])
@@ -82,6 +92,11 @@ def result_from_dict(data: dict) -> ExperimentResult:
                 throughput_mbps=float(p["throughput_mbps"]),
                 peak_concurrent_flows=int(p["peak_concurrent_flows"]),
                 max_edge_multiplexing=int(p["max_edge_multiplexing"]),
+                build_time=(
+                    float(p["build_time"])
+                    if p.get("build_time") is not None
+                    else None
+                ),
             )
         )
     return result

@@ -7,6 +7,7 @@ seeded repetition, and returns a queryable :class:`ExperimentResult`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,10 @@ class MeasurementPoint:
     #: Link-level telemetry from the first repetition, when the
     #: experiment ran with ``telemetry=True`` (None otherwise).
     link_stats: Optional[LinkSummary] = None
+    #: Wall-clock seconds spent building the cell's programs — the
+    #: offline scheduling pipeline cost (root finding, phase
+    #: partitioning, sync planning, program emission).
+    build_time: Optional[float] = None
 
 
 @dataclass
@@ -105,7 +110,9 @@ def run_experiment(
     n = topology.num_machines
     for workload in workloads:
         for algorithm in algorithms:
+            t0 = time.perf_counter()
             programs = algorithm.build_programs(topology, workload.msize)
+            build_time = time.perf_counter() - t0
             samples: List[float] = []
             peak_flows = 0
             max_mux = 0
@@ -141,6 +148,7 @@ def run_experiment(
                     peak_concurrent_flows=peak_flows,
                     max_edge_multiplexing=max_mux,
                     link_stats=link_stats,
+                    build_time=build_time,
                 )
             )
     return result

@@ -1,9 +1,10 @@
-"""Flight-recorder observability for the cluster simulator.
+"""Flight-recorder observability for the cluster simulator and pipeline.
 
 The simulator's argument — and the paper's — is about *contention
 structure*: the generated routine wins because every phase is
 contention-free and pair-wise syncs keep phases from bleeding into each
-other.  This package makes that structure observable at run time:
+other.  This package makes that structure observable at run time, and
+makes the offline pipeline that produces it measurable:
 
 * :mod:`repro.obs.bus` — a typed publish/subscribe event bus the
   simulator publishes to (flow lifecycle, per-link occupancy changes,
@@ -16,50 +17,117 @@ other.  This package makes that structure observable at run time:
   contention-free verdict from observed link occupancy (independent of
   the static check in :mod:`repro.core.verify`).
 * :mod:`repro.obs.perfetto` — Chrome/Perfetto ``trace_event`` JSON
-  export: one track per rank, one counter track per link.
+  export: one track per rank, one counter track per link, one track
+  for the offline pipeline spans.
 * :mod:`repro.obs.telemetry` — :class:`RunTelemetry`, the bundle the
   executor returns when telemetry is requested, with JSON export.
+* :mod:`repro.obs.profiling` — span/counter profiler of the offline
+  scheduling pipeline (rooting, phase partitioning, program emission,
+  dependence graph, transitive reduction).
+* :mod:`repro.obs.ledger` — persistent append-only run ledger
+  (JSONL) plus the ``report regress`` comparison machinery.
 
 Run with ``run_programs(..., telemetry=True)`` or from the CLI:
-``repro-aapc trace <topology>``.  See ``docs/observability.md``.
+``repro-aapc trace <topology>``; inspect history with
+``repro-aapc report list``.  See ``docs/observability.md``.
+
+The public names below are resolved lazily (PEP 562): the pipeline
+modules in :mod:`repro.core` import :mod:`repro.obs.profiling` without
+dragging the simulator-facing consumers (and hence :mod:`repro.sim`)
+into their import graph.
 """
 
-from repro.obs.bus import (
-    EventBus,
-    FlowFinished,
-    FlowStarted,
-    LinkOccupancy,
-)
-from repro.obs.diagnostics import (
-    CriticalStep,
-    PhaseHealth,
-    ScheduleHealth,
-    schedule_health,
-)
-from repro.obs.link_metrics import (
-    FlowRecord,
-    LinkMetricsCollector,
-    LinkMetricsReport,
-    LinkReport,
-)
-from repro.obs.perfetto import perfetto_trace, write_perfetto
-from repro.obs.telemetry import EngineStats, RunTelemetry
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "EventBus",
-    "FlowStarted",
-    "FlowFinished",
-    "LinkOccupancy",
-    "LinkMetricsCollector",
-    "LinkMetricsReport",
-    "LinkReport",
-    "FlowRecord",
-    "PhaseHealth",
-    "CriticalStep",
-    "ScheduleHealth",
-    "schedule_health",
-    "perfetto_trace",
-    "write_perfetto",
-    "RunTelemetry",
-    "EngineStats",
-]
+#: public name -> defining submodule
+_EXPORTS = {
+    "EventBus": "repro.obs.bus",
+    "FlowStarted": "repro.obs.bus",
+    "FlowFinished": "repro.obs.bus",
+    "LinkOccupancy": "repro.obs.bus",
+    "LinkMetricsCollector": "repro.obs.link_metrics",
+    "LinkMetricsReport": "repro.obs.link_metrics",
+    "LinkReport": "repro.obs.link_metrics",
+    "FlowRecord": "repro.obs.link_metrics",
+    "PhaseHealth": "repro.obs.diagnostics",
+    "CriticalStep": "repro.obs.diagnostics",
+    "ScheduleHealth": "repro.obs.diagnostics",
+    "schedule_health": "repro.obs.diagnostics",
+    "perfetto_trace": "repro.obs.perfetto",
+    "write_perfetto": "repro.obs.perfetto",
+    "RunTelemetry": "repro.obs.telemetry",
+    "EngineStats": "repro.obs.telemetry",
+    "PipelineProfiler": "repro.obs.profiling",
+    "PipelineProfile": "repro.obs.profiling",
+    "SpanRecord": "repro.obs.profiling",
+    "pipeline_span": "repro.obs.profiling",
+    "add_counters": "repro.obs.profiling",
+    "active_profiler": "repro.obs.profiling",
+    "RunLedger": "repro.obs.ledger",
+    "RunRecord": "repro.obs.ledger",
+    "AlgorithmEntry": "repro.obs.ledger",
+    "topology_fingerprint": "repro.obs.ledger",
+    "default_ledger_dir": "repro.obs.ledger",
+    "find_regressions": "repro.obs.ledger",
+    "compare_records": "repro.obs.ledger",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.obs' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.obs.bus import (
+        EventBus,
+        FlowFinished,
+        FlowStarted,
+        LinkOccupancy,
+    )
+    from repro.obs.diagnostics import (
+        CriticalStep,
+        PhaseHealth,
+        ScheduleHealth,
+        schedule_health,
+    )
+    from repro.obs.ledger import (
+        AlgorithmEntry,
+        RunLedger,
+        RunRecord,
+        compare_records,
+        default_ledger_dir,
+        find_regressions,
+        topology_fingerprint,
+    )
+    from repro.obs.link_metrics import (
+        FlowRecord,
+        LinkMetricsCollector,
+        LinkMetricsReport,
+        LinkReport,
+    )
+    from repro.obs.perfetto import perfetto_trace, write_perfetto
+    from repro.obs.profiling import (
+        PipelineProfile,
+        PipelineProfiler,
+        SpanRecord,
+        active_profiler,
+        add_counters,
+        pipeline_span,
+    )
+    from repro.obs.telemetry import EngineStats, RunTelemetry

@@ -1,0 +1,421 @@
+"""Persistent, append-only run ledger: cross-run metrics that survive.
+
+Every ``simulate`` / ``repro`` / ``campaign`` invocation appends one
+schema-versioned JSON line to ``<ledger-dir>/ledger.jsonl`` recording
+what ran (git SHA, topology fingerprint, parameters), how it performed
+(per-algorithm completion times, telemetry summary) and how much the
+offline pipeline cost (scheduler runtime, span timings from
+:mod:`repro.obs.profiling`).  The ``repro-aapc report`` CLI family
+reads it back: ``list`` / ``show`` / ``compare`` / ``regress`` — the
+last one is the CI perf gate, exiting non-zero when completion time or
+scheduler runtime regresses past a threshold against a baseline.
+
+The default location is ``~/.cache/repro-aapc/ledger/`` and can be
+overridden per call (``--ledger-dir``) or globally via the
+``REPRO_AAPC_LEDGER_DIR`` environment variable.  The format is JSONL:
+append-only, mergeable, trivially greppable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+logger = logging.getLogger("repro.obs.ledger")
+
+#: Version of the ledger record schema.  Bump on incompatible change;
+#: readers reject records from the future with a clear error.
+LEDGER_SCHEMA_VERSION = 1
+
+LEDGER_FILENAME = "ledger.jsonl"
+
+#: Environment variable overriding the default ledger directory.
+LEDGER_DIR_ENV = "REPRO_AAPC_LEDGER_DIR"
+
+
+def default_ledger_dir() -> str:
+    """``$REPRO_AAPC_LEDGER_DIR`` or ``~/.cache/repro-aapc/ledger``."""
+    env = os.environ.get(LEDGER_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-aapc", "ledger"
+    )
+
+
+def topology_fingerprint(topology) -> str:
+    """Short content hash of a topology's canonical text form.
+
+    Two topologies fingerprint equal iff their serialised descriptions
+    match (same nodes, links and rank order) — the key that keeps runs
+    on different clusters from being compared as like-for-like.
+    """
+    from repro.topology.serialization import dumps_topology
+
+    text = dumps_topology(topology)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def current_git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The checked-out commit, or None outside a git work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+# ----------------------------------------------------------------------
+# record model
+# ----------------------------------------------------------------------
+@dataclass
+class AlgorithmEntry:
+    """Per-algorithm measurements inside one run record."""
+
+    completion_time_ms: float
+    throughput_mbps: Optional[float] = None
+    #: Wall-clock cost of building the programs (the offline pipeline).
+    scheduler_runtime_ms: Optional[float] = None
+    #: Condensed flight-recorder summary (contention verdict etc.).
+    telemetry: Optional[Dict[str, object]] = None
+    #: Pipeline profiler spans (``PipelineProfile.as_dicts()`` form).
+    pipeline: Optional[List[Dict[str, object]]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "completion_time_ms": self.completion_time_ms,
+        }
+        if self.throughput_mbps is not None:
+            data["throughput_mbps"] = self.throughput_mbps
+        if self.scheduler_runtime_ms is not None:
+            data["scheduler_runtime_ms"] = self.scheduler_runtime_ms
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        if self.pipeline is not None:
+            data["pipeline"] = self.pipeline
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AlgorithmEntry":
+        return cls(
+            completion_time_ms=float(data["completion_time_ms"]),
+            throughput_mbps=data.get("throughput_mbps"),
+            scheduler_runtime_ms=data.get("scheduler_runtime_ms"),
+            telemetry=data.get("telemetry"),
+            pipeline=data.get("pipeline"),
+        )
+
+
+@dataclass
+class RunRecord:
+    """One ledger line: everything needed to compare runs later."""
+
+    run_id: str
+    timestamp: str
+    command: str
+    topology_spec: str
+    topology_fingerprint: str
+    num_machines: int
+    msize: Optional[int]
+    params: Dict[str, object]
+    algorithms: Dict[str, AlgorithmEntry]
+    git_sha: Optional[str] = None
+    schema: int = LEDGER_SCHEMA_VERSION
+    repro_version: str = __version__
+
+    @classmethod
+    def new(
+        cls,
+        command: str,
+        *,
+        topology_spec: str,
+        topology_fingerprint: str,
+        num_machines: int,
+        msize: Optional[int],
+        params: Dict[str, object],
+        algorithms: Dict[str, AlgorithmEntry],
+    ) -> "RunRecord":
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        return cls(
+            run_id=f"{time.strftime('%Y%m%d-%H%M%S', time.gmtime())}"
+            f"-{uuid.uuid4().hex[:6]}",
+            timestamp=stamp + "Z",
+            command=command,
+            topology_spec=topology_spec,
+            topology_fingerprint=topology_fingerprint,
+            num_machines=num_machines,
+            msize=msize,
+            params=params,
+            algorithms=algorithms,
+            git_sha=current_git_sha(),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "repro_version": self.repro_version,
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "command": self.command,
+            "git_sha": self.git_sha,
+            "topology": {
+                "spec": self.topology_spec,
+                "fingerprint": self.topology_fingerprint,
+                "num_machines": self.num_machines,
+            },
+            "msize": self.msize,
+            "params": self.params,
+            "algorithms": {
+                name: entry.as_dict()
+                for name, entry in sorted(self.algorithms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        schema = data.get("schema")
+        if not isinstance(schema, int) or schema < 1:
+            raise ReproError(
+                f"ledger record has invalid schema marker {schema!r}"
+            )
+        if schema > LEDGER_SCHEMA_VERSION:
+            raise ReproError(
+                f"ledger record uses schema {schema}, but this version of "
+                f"repro ({__version__}) reads up to schema "
+                f"{LEDGER_SCHEMA_VERSION}; upgrade repro to read it"
+            )
+        topo = data.get("topology") or {}
+        return cls(
+            run_id=str(data["run_id"]),
+            timestamp=str(data.get("timestamp", "")),
+            command=str(data.get("command", "")),
+            topology_spec=str(topo.get("spec", "")),
+            topology_fingerprint=str(topo.get("fingerprint", "")),
+            num_machines=int(topo.get("num_machines", 0)),
+            msize=data.get("msize"),
+            params=dict(data.get("params") or {}),
+            algorithms={
+                name: AlgorithmEntry.from_dict(entry)
+                for name, entry in (data.get("algorithms") or {}).items()
+            },
+            git_sha=data.get("git_sha"),
+            schema=schema,
+            repro_version=str(data.get("repro_version", "")),
+        )
+
+
+# ----------------------------------------------------------------------
+# the ledger store
+# ----------------------------------------------------------------------
+class RunLedger:
+    """Append/read interface over one ledger directory."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_ledger_dir()
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, LEDGER_FILENAME)
+
+    def append(self, record: RunRecord) -> str:
+        """Append one record as a JSON line; returns the ledger path."""
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            json.dump(record.as_dict(), fh, sort_keys=True)
+            fh.write("\n")
+        logger.info(
+            "ledger: appended run %s (%s on %s) to %s",
+            record.run_id,
+            record.command,
+            record.topology_spec,
+            self.path,
+        )
+        return self.path
+
+    def records(self) -> List[RunRecord]:
+        """All records, oldest first.  Raises on corrupt/future lines."""
+        if not os.path.exists(self.path):
+            return []
+        out: List[RunRecord] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"corrupt ledger line {lineno} in {self.path}: {exc}"
+                    ) from exc
+                out.append(RunRecord.from_dict(data))
+        return out
+
+    def find(self, ref: str) -> RunRecord:
+        """Resolve *ref*: ``latest``, a run id, or a unique id prefix."""
+        records = self.records()
+        if not records:
+            raise ReproError(f"ledger {self.path} is empty")
+        if ref == "latest":
+            return records[-1]
+        matches = [r for r in records if r.run_id.startswith(ref)]
+        if not matches:
+            raise ReproError(
+                f"no run matching {ref!r} in {self.path} "
+                f"({len(records)} records)"
+            )
+        exact = [r for r in matches if r.run_id == ref]
+        if exact:
+            return exact[-1]
+        ids = {r.run_id for r in matches}
+        if len(ids) > 1:
+            raise ReproError(
+                f"ambiguous run reference {ref!r}: matches {sorted(ids)[:5]}"
+            )
+        return matches[-1]
+
+
+def load_baseline(ref: str, ledger: Optional[RunLedger] = None) -> RunRecord:
+    """A baseline for ``report regress``: a JSON file path or a run ref.
+
+    A file may hold either a full run record or a bare
+    ``{"algorithms": {...}}`` mapping (the committed-baseline form).
+    """
+    if os.path.exists(ref):
+        with open(ref, "r", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"corrupt baseline file {ref}: {exc}") from exc
+        if "run_id" in data:
+            return RunRecord.from_dict(data)
+        schema = data.get("schema", LEDGER_SCHEMA_VERSION)
+        if isinstance(schema, int) and schema > LEDGER_SCHEMA_VERSION:
+            raise ReproError(
+                f"baseline {ref} uses schema {schema}; this repro reads "
+                f"up to {LEDGER_SCHEMA_VERSION}"
+            )
+        return RunRecord(
+            run_id=f"baseline:{os.path.basename(ref)}",
+            timestamp="",
+            command=str(data.get("command", "baseline")),
+            topology_spec=str(data.get("topology", {}).get("spec", "")),
+            topology_fingerprint=str(
+                data.get("topology", {}).get("fingerprint", "")
+            ),
+            num_machines=int(data.get("topology", {}).get("num_machines", 0)),
+            msize=data.get("msize"),
+            params=dict(data.get("params") or {}),
+            algorithms={
+                name: AlgorithmEntry.from_dict(entry)
+                for name, entry in (data.get("algorithms") or {}).items()
+            },
+            git_sha=data.get("git_sha"),
+        )
+    if ledger is None:
+        ledger = RunLedger()
+    return ledger.find(ref)
+
+
+# ----------------------------------------------------------------------
+# comparison / regression gating
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric between two runs."""
+
+    algorithm: str
+    metric: str  # "completion_time_ms" | "scheduler_runtime_ms"
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline <= 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+    @property
+    def change_percent(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+    def __str__(self) -> str:
+        arrow = "+" if self.current >= self.baseline else ""
+        return (
+            f"{self.algorithm:<24s} {self.metric:<22s} "
+            f"{self.baseline:10.3f} -> {self.current:10.3f}  "
+            f"({arrow}{self.change_percent:.1f}%)"
+        )
+
+
+_GATED_METRICS = ("completion_time_ms", "scheduler_runtime_ms")
+
+
+def compare_records(
+    baseline: RunRecord, current: RunRecord
+) -> List[MetricDelta]:
+    """Metric deltas for every algorithm present in both records."""
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(baseline.algorithms) & set(current.algorithms)):
+        base, cur = baseline.algorithms[name], current.algorithms[name]
+        for metric in _GATED_METRICS:
+            b = getattr(base, metric)
+            c = getattr(cur, metric)
+            if b is None or c is None:
+                continue
+            deltas.append(
+                MetricDelta(
+                    algorithm=name,
+                    metric=metric,
+                    baseline=float(b),
+                    current=float(c),
+                )
+            )
+    return deltas
+
+
+def find_regressions(
+    baseline: RunRecord, current: RunRecord, threshold: float
+) -> List[MetricDelta]:
+    """Deltas exceeding ``baseline * (1 + threshold)`` — the perf gate.
+
+    *threshold* is a fraction (``0.05`` = 5%).  Both completion time
+    and scheduler runtime are gated; lower is better for both.
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be non-negative, got {threshold}")
+    return [
+        d
+        for d in compare_records(baseline, current)
+        if d.ratio > 1.0 + threshold
+    ]
+
+
+def parse_threshold(text: str) -> float:
+    """``"5%"`` → 0.05; ``"0.05"`` → 0.05."""
+    text = text.strip()
+    try:
+        if text.endswith("%"):
+            return float(text[:-1]) / 100.0
+        return float(text)
+    except ValueError as exc:
+        raise ReproError(f"bad threshold {text!r}; use e.g. '5%'") from exc

@@ -15,6 +15,12 @@ Produces the classic Trace Event Format (loadable by both
 * **phases** (pid 4) — one thread per schedule phase with a single
   slice spanning the phase's first to last activity; drift and overlap
   are visible at a glance.
+* **pipeline** (pid 5) — the *offline* scheduling pipeline, when the
+  run's programs were built under an active
+  :class:`~repro.obs.profiling.PipelineProfiler`: one nested slice per
+  span (rooting, phase partitioning, program emission, transitive
+  reduction, ...), counters in the args.  Its clock is the profiler's
+  monotonic epoch, not simulated time — read it as its own timeline.
 
 Timestamps are microseconds (the format's native unit).
 """
@@ -24,6 +30,8 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Dict, List
 
+from repro._version import __version__
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import RunTelemetry
 
@@ -31,6 +39,7 @@ _PID_RANKS = 1
 _PID_LINKS = 2
 _PID_FLOWS = 3
 _PID_PHASES = 4
+_PID_PIPELINE = 5
 
 
 def _us(t: float) -> float:
@@ -149,6 +158,14 @@ def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
                 },
             }
         )
+
+    # --- offline pipeline track --------------------------------------
+    if telemetry.pipeline is not None and telemetry.pipeline.spans:
+        events.append(_meta(_PID_PIPELINE, "pipeline"))
+        events.append(
+            _meta(_PID_PIPELINE, "scheduling pipeline", 0, thread=True)
+        )
+        events.extend(telemetry.pipeline.perfetto_events(pid=_PID_PIPELINE))
     return events
 
 
@@ -161,6 +178,7 @@ def perfetto_trace(telemetry: "RunTelemetry") -> dict:
             "completion_time_ms": telemetry.completion_time * 1e3,
             "contention_free_verified": telemetry.contention_free_verified,
             "generator": "repro-aapc flight recorder",
+            "repro_version": __version__,
         },
     }
 

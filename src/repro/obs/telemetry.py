@@ -14,14 +14,23 @@ writes for ``--metrics-out``.
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import IO, Dict, List, Optional, Tuple, Union
 
+from repro._version import __version__
+from repro.errors import ReproError
 from repro.obs.bus import LinkOccupancy
 from repro.obs.diagnostics import ScheduleHealth
 from repro.obs.link_metrics import LinkMetricsReport
+from repro.obs.profiling import PipelineProfile
 from repro.sim.trace import Trace
+
+#: Version of the ``--metrics-out`` report schema.  Bump on
+#: incompatible change; :func:`load_metrics` rejects reports from the
+#: future with a clear error.
+METRICS_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -57,6 +66,10 @@ class RunTelemetry:
     engine: EngineStats
     #: Raw per-edge occupancy samples, in time order (Perfetto counters).
     occupancy: List[LinkOccupancy] = field(default_factory=list)
+    #: Offline-pipeline profile for the schedule this run executed
+    #: (attached by callers that built programs under an active
+    #: :class:`~repro.obs.profiling.PipelineProfiler`).
+    pipeline: Optional[PipelineProfile] = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,7 +86,9 @@ class RunTelemetry:
         mean_rate = (
             sum(f.achieved_rate for f in flows) / len(flows) if flows else 0.0
         )
-        return {
+        data: Dict[str, object] = {
+            "schema": METRICS_SCHEMA_VERSION,
+            "repro_version": __version__,
             "completion_time_ms": self.completion_time * 1e3,
             "num_ranks": len(self.machines),
             "bandwidth_bytes_per_sec": self.bandwidth,
@@ -92,6 +107,9 @@ class RunTelemetry:
             "schedule_health": self.health.as_dict(),
             "engine": self.engine.as_dict(),
         }
+        if self.pipeline is not None:
+            data["pipeline"] = self.pipeline.as_dicts()
+        return data
 
     # ------------------------------------------------------------------
     def write_metrics(self, path: str) -> None:
@@ -130,3 +148,36 @@ class RunTelemetry:
                 f"contention {report.contention_events}"
             )
         return "\n".join(lines)
+
+
+def load_metrics(source: Union[str, IO[str]]) -> Dict[str, object]:
+    """Read and validate a ``--metrics-out`` report.
+
+    Accepts a file path or a text stream.  Raises
+    :class:`~repro.errors.ReproError` for corrupt JSON and for reports
+    written by a *newer* repro whose schema this version cannot read.
+    Pre-versioning reports (no ``schema`` key) load as-is.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_metrics(fh)
+    try:
+        data = json.load(source)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt metrics report: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ReproError("metrics report must be a JSON object")
+    schema = data.get("schema", METRICS_SCHEMA_VERSION)
+    if not isinstance(schema, int) or schema < 1:
+        raise ReproError(f"metrics report has invalid schema {schema!r}")
+    if schema > METRICS_SCHEMA_VERSION:
+        raise ReproError(
+            f"metrics report uses schema {schema}, but this version of "
+            f"repro ({__version__}) reads up to schema "
+            f"{METRICS_SCHEMA_VERSION}; upgrade repro to read it"
+        )
+    return data
+
+
+def loads_metrics(text: str) -> Dict[str, object]:
+    return load_metrics(io.StringIO(text))

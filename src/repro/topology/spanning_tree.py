@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
+from repro.obs.profiling import add_counters, pipeline_span
 from repro.topology.graph import Topology
 
 #: Default 802.1D path cost for 100 Mbps Ethernet.
@@ -115,6 +116,11 @@ def compute_spanning_tree(network: PhysicalNetwork) -> SpanningTreeResult:
     Raises :class:`TopologyError` for an empty or disconnected switch
     fabric (a partitioned network has no single spanning tree).
     """
+    with pipeline_span("spanning_tree"):
+        return _compute_spanning_tree(network)
+
+
+def _compute_spanning_tree(network: PhysicalNetwork) -> SpanningTreeResult:
     switches = sorted(network.switch_priority)
     if not switches:
         raise TopologyError("no switches in the physical network")
@@ -182,6 +188,11 @@ def compute_spanning_tree(network: PhysicalNetwork) -> SpanningTreeResult:
         topology.add_link(network.machine_attachment[machine], machine)
     topology.validate()
 
+    add_counters(
+        switches=len(switches),
+        forwarding_links=len(forwarding),
+        blocked_links=len(blocked),
+    )
     return SpanningTreeResult(
         root_bridge=root,
         forwarding_links=forwarding,

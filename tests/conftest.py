@@ -16,6 +16,16 @@ from repro.topology.builder import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(tmp_path, monkeypatch):
+    """Keep every test's run-ledger writes inside its tmp dir.
+
+    CLI commands append to the run ledger by default; without this the
+    suite would pollute the developer's ``~/.cache/repro-aapc``.
+    """
+    monkeypatch.setenv("REPRO_AAPC_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def fig1():
     """The paper's Figure 1 example cluster (6 machines, 4 switches)."""

@@ -1,0 +1,258 @@
+"""Tests for the persistent run ledger and the regression gate."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    AlgorithmEntry,
+    RunLedger,
+    RunRecord,
+    compare_records,
+    find_regressions,
+    load_baseline,
+    parse_threshold,
+    topology_fingerprint,
+)
+
+
+def make_record(**algorithms) -> RunRecord:
+    return RunRecord.new(
+        "simulate",
+        topology_spec="fig1",
+        topology_fingerprint="abc123",
+        num_machines=6,
+        msize=65536,
+        params={"seed": 0},
+        algorithms={
+            name: AlgorithmEntry(**fields)
+            for name, fields in algorithms.items()
+        },
+    )
+
+
+class TestLedgerStore:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        record = make_record(
+            generated={
+                "completion_time_ms": 70.4,
+                "throughput_mbps": 223.0,
+                "scheduler_runtime_ms": 1.8,
+                "pipeline": [{"name": "schedule_aapc", "duration_ms": 1.0}],
+            }
+        )
+        ledger.append(record)
+        (loaded,) = ledger.records()
+        assert loaded.run_id == record.run_id
+        assert loaded.schema == LEDGER_SCHEMA_VERSION
+        assert loaded.topology_fingerprint == "abc123"
+        entry = loaded.algorithms["generated"]
+        assert entry.completion_time_ms == pytest.approx(70.4)
+        assert entry.scheduler_runtime_ms == pytest.approx(1.8)
+        assert entry.pipeline[0]["name"] == "schedule_aapc"
+
+    def test_records_ordered_and_find_refs(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        a = make_record(lam={"completion_time_ms": 1.0})
+        b = make_record(lam={"completion_time_ms": 2.0})
+        ledger.append(a)
+        ledger.append(b)
+        assert [r.run_id for r in ledger.records()] == [a.run_id, b.run_id]
+        assert ledger.find("latest").run_id == b.run_id
+        assert ledger.find(a.run_id).run_id == a.run_id
+
+    def test_find_unique_prefix_and_ambiguity(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        a = make_record(lam={"completion_time_ms": 1.0})
+        ledger.append(a)
+        assert ledger.find(a.run_id[:12]).run_id == a.run_id
+        with pytest.raises(ReproError, match="no run matching"):
+            ledger.find("zzz-nope")
+
+    def test_empty_ledger_find_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="empty"):
+            RunLedger(str(tmp_path / "led")).find("latest")
+
+    def test_future_schema_rejected_with_clear_error(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        data = make_record(lam={"completion_time_ms": 1.0}).as_dict()
+        data["schema"] = LEDGER_SCHEMA_VERSION + 1
+        os.makedirs(ledger.directory, exist_ok=True)
+        with open(ledger.path, "w") as fh:
+            fh.write(json.dumps(data) + "\n")
+        with pytest.raises(ReproError, match="upgrade repro"):
+            ledger.records()
+
+    def test_corrupt_line_raises_with_line_number(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        os.makedirs(ledger.directory, exist_ok=True)
+        with open(ledger.path, "w") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ReproError, match="line 1"):
+            ledger.records()
+
+
+class TestFingerprint:
+    def test_stable_for_equal_topologies(self, fig1):
+        from repro.topology.builder import paper_example_cluster
+
+        assert topology_fingerprint(fig1) == topology_fingerprint(
+            paper_example_cluster()
+        )
+
+    def test_differs_across_topologies(self, fig1, topo_a):
+        assert topology_fingerprint(fig1) != topology_fingerprint(topo_a)
+
+
+class TestComparison:
+    def test_compare_records_covers_both_metrics(self):
+        base = make_record(
+            lam={"completion_time_ms": 100.0, "scheduler_runtime_ms": 1.0}
+        )
+        cur = make_record(
+            lam={"completion_time_ms": 110.0, "scheduler_runtime_ms": 1.0}
+        )
+        deltas = compare_records(base, cur)
+        assert {(d.metric, round(d.ratio, 2)) for d in deltas} == {
+            ("completion_time_ms", 1.10),
+            ("scheduler_runtime_ms", 1.00),
+        }
+
+    def test_find_regressions_respects_threshold(self):
+        base = make_record(lam={"completion_time_ms": 100.0})
+        cur = make_record(lam={"completion_time_ms": 104.0})
+        assert find_regressions(base, cur, 0.05) == []
+        regs = find_regressions(base, cur, 0.03)
+        assert [d.metric for d in regs] == ["completion_time_ms"]
+
+    def test_scheduler_runtime_regression_detected(self):
+        base = make_record(
+            lam={"completion_time_ms": 100.0, "scheduler_runtime_ms": 1.0}
+        )
+        cur = make_record(
+            lam={"completion_time_ms": 100.0, "scheduler_runtime_ms": 2.0}
+        )
+        regs = find_regressions(base, cur, 0.05)
+        assert [d.metric for d in regs] == ["scheduler_runtime_ms"]
+
+    def test_missing_metrics_are_skipped(self):
+        base = make_record(lam={"completion_time_ms": 100.0})
+        cur = make_record(
+            lam={"completion_time_ms": 100.0, "scheduler_runtime_ms": 5.0}
+        )
+        assert [d.metric for d in compare_records(base, cur)] == [
+            "completion_time_ms"
+        ]
+
+    def test_parse_threshold_forms(self):
+        assert parse_threshold("5%") == pytest.approx(0.05)
+        assert parse_threshold("0.05") == pytest.approx(0.05)
+        assert parse_threshold(" 25% ") == pytest.approx(0.25)
+        with pytest.raises(ReproError):
+            parse_threshold("five")
+
+
+class TestBaselineLoading:
+    def test_bare_algorithms_file(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        with open(path, "w") as fh:
+            json.dump(
+                {"algorithms": {"lam": {"completion_time_ms": 42.0}}}, fh
+            )
+        record = load_baseline(path)
+        assert record.algorithms["lam"].completion_time_ms == 42.0
+
+    def test_full_record_file(self, tmp_path):
+        record = make_record(lam={"completion_time_ms": 9.0})
+        path = str(tmp_path / "record.json")
+        with open(path, "w") as fh:
+            json.dump(record.as_dict(), fh)
+        loaded = load_baseline(path)
+        assert loaded.run_id == record.run_id
+
+    def test_ledger_ref_fallback(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        record = make_record(lam={"completion_time_ms": 9.0})
+        ledger.append(record)
+        assert load_baseline("latest", ledger).run_id == record.run_id
+
+
+class TestRegressCli:
+    """Acceptance: synthetic 2x scheduler-runtime slowdown fails the gate."""
+
+    def _seed_ledger(self, tmp_path, scheduler_runtime_ms: float) -> str:
+        directory = str(tmp_path / "led")
+        RunLedger(directory).append(
+            make_record(
+                generated={
+                    "completion_time_ms": 70.0,
+                    "scheduler_runtime_ms": scheduler_runtime_ms,
+                }
+            )
+        )
+        return directory
+
+    def _baseline_file(self, tmp_path) -> str:
+        path = str(tmp_path / "baseline.json")
+        with open(path, "w") as fh:
+            json.dump(
+                {
+                    "algorithms": {
+                        "generated": {
+                            "completion_time_ms": 70.0,
+                            "scheduler_runtime_ms": 1.0,
+                        }
+                    }
+                },
+                fh,
+            )
+        return path
+
+    def test_regress_fails_on_2x_scheduler_slowdown(self, tmp_path, capsys):
+        directory = self._seed_ledger(tmp_path, scheduler_runtime_ms=2.0)
+        rc = main(
+            [
+                "report", "regress",
+                "--baseline", self._baseline_file(tmp_path),
+                "--ledger-dir", directory,
+                "--threshold", "5%",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "scheduler_runtime_ms" in out
+
+    def test_regress_passes_within_threshold(self, tmp_path, capsys):
+        directory = self._seed_ledger(tmp_path, scheduler_runtime_ms=1.02)
+        rc = main(
+            [
+                "report", "regress",
+                "--baseline", self._baseline_file(tmp_path),
+                "--ledger-dir", directory,
+                "--threshold", "5%",
+            ]
+        )
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regress_errors_when_nothing_comparable(self, tmp_path):
+        directory = str(tmp_path / "led")
+        RunLedger(directory).append(
+            make_record(other={"completion_time_ms": 1.0})
+        )
+        rc = main(
+            [
+                "report", "regress",
+                "--baseline", self._baseline_file(tmp_path),
+                "--ledger-dir", directory,
+            ]
+        )
+        assert rc == 2

@@ -1,0 +1,156 @@
+"""Tests for the pipeline span profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import schedule_aapc
+from repro.obs.profiling import (
+    PipelineProfile,
+    PipelineProfiler,
+    SpanRecord,
+    active_profiler,
+    add_counters,
+    pipeline_span,
+)
+
+
+class TestProfilerBasics:
+    def test_spans_record_nesting_depth(self):
+        profiler = PipelineProfiler()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                with profiler.span("innermost"):
+                    pass
+            with profiler.span("sibling"):
+                pass
+        profile = profiler.report()
+        depths = {s.name: s.depth for s in profile.spans}
+        assert depths == {
+            "outer": 0, "inner": 1, "innermost": 2, "sibling": 1,
+        }
+
+    def test_span_durations_are_positive_and_nested_in_time(self):
+        profiler = PipelineProfiler()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                sum(range(1000))
+        profile = profiler.report()
+        outer = profile.span("outer")
+        inner = profile.span("inner")
+        assert outer.duration > 0
+        assert inner.duration > 0
+        assert outer.start <= inner.start
+        assert inner.start + inner.duration <= (
+            outer.start + outer.duration + 1e-9
+        )
+
+    def test_counters_at_open_and_via_add_counters(self):
+        profiler = PipelineProfiler()
+        with profiler.span("stage", items=3):
+            profiler.add_counters(edges=7)
+            profiler.add_counters(edges=9, extra=1)
+        span = profiler.report().span("stage")
+        assert span.counters == {"items": 3, "edges": 9, "extra": 1}
+
+    def test_add_counters_without_open_span_is_noop(self):
+        profiler = PipelineProfiler()
+        profiler.add_counters(orphan=1)
+        assert profiler.report().spans == []
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = PipelineProfiler(enabled=False)
+        with profiler.span("stage"):
+            profiler.add_counters(x=1)
+        assert profiler.report().spans == []
+
+    def test_total_sums_repeated_spans(self):
+        profile = PipelineProfile(
+            spans=[
+                SpanRecord("a", 0.0, 0.5, 0),
+                SpanRecord("a", 1.0, 0.25, 0),
+                SpanRecord("b", 2.0, 1.0, 0),
+            ]
+        )
+        assert profile.total("a") == pytest.approx(0.75)
+        assert profile.wall_time == pytest.approx(3.0)
+        assert profile.span("missing") is None
+
+
+class TestModuleHooks:
+    def test_hooks_are_noops_without_active_profiler(self):
+        assert active_profiler() is None
+        with pipeline_span("anything", n=1) as record:
+            assert record is None
+        add_counters(x=1)  # must not raise
+
+    def test_activation_routes_hooks_and_restores(self):
+        profiler = PipelineProfiler()
+        with profiler.activate():
+            assert active_profiler() is profiler
+            with pipeline_span("hooked"):
+                add_counters(n=4)
+        assert active_profiler() is None
+        span = profiler.report().span("hooked")
+        assert span is not None
+        assert span.counters == {"n": 4}
+
+    def test_nested_activation_restores_previous(self):
+        outer, inner = PipelineProfiler(), PipelineProfiler()
+        with outer.activate():
+            with inner.activate():
+                assert active_profiler() is inner
+            assert active_profiler() is outer
+        assert active_profiler() is None
+
+
+class TestPipelineInstrumentation:
+    def test_schedule_aapc_produces_stage_spans(self, fig1):
+        profiler = PipelineProfiler()
+        with profiler.activate():
+            schedule = schedule_aapc(fig1)
+        profile = profiler.report()
+        names = {s.name for s in profile.spans}
+        assert "schedule_aapc" in names
+        assert "root_identification" in names
+        assert "global_schedule" in names
+        assert "phase_partitioning" in names
+        top = profile.span("schedule_aapc")
+        assert top.counters["phases"] == schedule.num_phases
+        assert top.counters["messages"] == len(schedule)
+
+    def test_no_spans_leak_without_activation(self, fig1):
+        schedule_aapc(fig1)
+        assert active_profiler() is None
+
+
+class TestExportForms:
+    def _profile(self):
+        profiler = PipelineProfiler()
+        with profiler.span("outer", phases=9):
+            with profiler.span("inner"):
+                pass
+        return profiler.report()
+
+    def test_as_dicts_roundtrips_to_json_types(self):
+        import json
+
+        dicts = self._profile().as_dicts()
+        assert json.loads(json.dumps(dicts)) == dicts
+        assert dicts[0]["name"] == "outer"
+        assert dicts[0]["counters"] == {"phases": 9}
+        assert dicts[1]["depth"] == 1
+
+    def test_perfetto_events_are_complete_slices(self):
+        events = self._profile().perfetto_events(pid=5)
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["pid"] == 5 for e in events)
+        assert events[0]["name"] == "outer"
+        assert events[0]["args"] == {"phases": 9}
+        assert events[0]["dur"] >= events[1]["dur"]
+
+    def test_render_indents_by_depth(self):
+        text = self._profile().render()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")

@@ -277,3 +277,147 @@ class TestRepro:
         assert by_alg["generated"]["link_stats"]["contention_free_verified"]
         assert not by_alg["lam"]["link_stats"]["contention_free_verified"]
         assert all(c["mean_time_ms"] > 0 for c in cells)
+
+
+class TestLedgerIntegration:
+    def test_simulate_appends_schema_versioned_record(self, tmp_path, capsys):
+        from repro.obs.ledger import LEDGER_SCHEMA_VERSION, RunLedger
+
+        directory = str(tmp_path / "led")
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB", "--ledger-dir", directory]
+        ) == 0
+        (record,) = RunLedger(directory).records()
+        assert record.schema == LEDGER_SCHEMA_VERSION
+        assert record.command == "simulate"
+        assert record.topology_spec == "fig1"
+        assert record.num_machines == 6
+        assert record.msize == 8 * 1024
+        assert set(record.algorithms) == {"lam", "mpich", "generated"}
+        generated = record.algorithms["generated"]
+        assert generated.completion_time_ms > 0
+        assert generated.scheduler_runtime_ms > 0
+        assert generated.pipeline  # profiler spans recorded
+        assert any(
+            s["name"] == "schedule_aapc" for s in generated.pipeline
+        )
+
+    def test_no_ledger_flag_suppresses_append(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        directory = str(tmp_path / "led")
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB",
+             "--ledger-dir", directory, "--no-ledger"]
+        ) == 0
+        assert RunLedger(directory).records() == []
+
+    def test_env_var_directs_default_ledger(self, tmp_path, monkeypatch):
+        from repro.obs.ledger import RunLedger
+
+        directory = str(tmp_path / "env-led")
+        monkeypatch.setenv("REPRO_AAPC_LEDGER_DIR", directory)
+        assert main(["simulate", "fig1", "--msize", "8KB"]) == 0
+        assert len(RunLedger(directory).records()) == 1
+
+    def test_repro_appends_per_cell_entries(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        directory = str(tmp_path / "led")
+        assert main(
+            ["repro", "topology-a", "--sizes", "8KB", "--repetitions", "1",
+             "--ledger-dir", directory]
+        ) == 0
+        (record,) = RunLedger(directory).records()
+        assert record.command == "repro"
+        assert any("@8192" in name for name in record.algorithms)
+
+
+class TestReportFamily:
+    def _simulate(self, directory, msize="8KB"):
+        assert main(
+            ["simulate", "fig1", "--msize", msize, "--ledger-dir", directory]
+        ) == 0
+
+    def test_list_empty_and_populated(self, tmp_path, capsys):
+        directory = str(tmp_path / "led")
+        assert main(["report", "list", "--ledger-dir", directory]) == 0
+        assert "empty" in capsys.readouterr().out
+        self._simulate(directory)
+        capsys.readouterr()
+        assert main(["report", "list", "--ledger-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "simulate" in out
+        assert "fig1" in out
+
+    def test_show_latest_dumps_json(self, tmp_path, capsys):
+        import json
+
+        directory = str(tmp_path / "led")
+        self._simulate(directory)
+        capsys.readouterr()
+        assert main(["report", "show", "--ledger-dir", directory]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+        assert "generated" in payload["algorithms"]
+
+    def test_show_missing_run_exits_2(self, tmp_path, capsys):
+        directory = str(tmp_path / "led")
+        assert main(
+            ["report", "show", "nope", "--ledger-dir", directory]
+        ) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_compare_two_runs(self, tmp_path, capsys):
+        directory = str(tmp_path / "led")
+        self._simulate(directory)
+        self._simulate(directory)
+        capsys.readouterr()
+        from repro.obs.ledger import RunLedger
+
+        first = RunLedger(directory).records()[0].run_id
+        assert main(
+            ["report", "compare", first, "latest", "--ledger-dir", directory]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completion_time_ms" in out
+        assert "scheduler_runtime_ms" in out
+
+    def test_regress_ok_against_own_run(self, tmp_path, capsys):
+        directory = str(tmp_path / "led")
+        self._simulate(directory)
+        capsys.readouterr()
+        assert main(
+            ["report", "regress", "--baseline", "latest",
+             "--ledger-dir", directory, "--threshold", "5%"]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regress_bad_threshold_exits_2(self, tmp_path, capsys):
+        directory = str(tmp_path / "led")
+        self._simulate(directory)
+        assert main(
+            ["report", "regress", "--baseline", "latest",
+             "--ledger-dir", directory, "--threshold", "five"]
+        ) == 2
+
+
+class TestVerboseFlag:
+    def test_verbose_enables_repro_logging(self, tmp_path, capsys):
+        import logging
+
+        directory = str(tmp_path / "led")
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB",
+             "--ledger-dir", directory, "-v"]
+        ) == 0
+        root = logging.getLogger("repro")
+        assert root.level == logging.INFO
+        assert any(
+            getattr(h, "_repro_cli", False) for h in root.handlers
+        )
+
+    def test_quiet_by_default(self, capsys):
+        assert main(["analyze", "fig1"]) == 0
+        assert capsys.readouterr().err == ""
