@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.algorithms import available_algorithms, get_algorithm
 from repro.algorithms.scheduled import GeneratedAlltoall
+from repro.errors import ReproError
 from repro.core.codegen import generate_c_routine
 from repro.core.program import build_programs
 from repro.core.scheduler import schedule_aapc
@@ -74,7 +75,20 @@ logger = logging.getLogger("repro.cli")
 def _load_topology(spec: str) -> Topology:
     if spec in _BUILTIN_TOPOLOGIES:
         return _BUILTIN_TOPOLOGIES[spec]()
-    return load_topology(spec)
+    try:
+        return load_topology(spec)
+    except OSError as exc:
+        raise ReproError(f"cannot read topology {spec!r}: {exc}") from exc
+
+
+def _load_faults(args: argparse.Namespace):
+    """The ``--faults`` plan, parsed, or None when the flag is absent."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    from repro.faults.plan import load_fault_plan
+
+    return load_fault_plan(path)
 
 
 def _configure_logging(verbosity: int) -> None:
@@ -116,6 +130,7 @@ def _append_ledger(
     msize: Optional[int],
     params: Optional[NetworkParams],
     entries,
+    fault_plan=None,
 ) -> None:
     """Append one run record unless the user opted out (best-effort)."""
     if getattr(args, "no_ledger", False):
@@ -130,6 +145,11 @@ def _append_ledger(
         msize=msize,
         params=_params_dict(params) if params is not None else {},
         algorithms=entries,
+        fault_plan=(
+            {"name": fault_plan.name, "fingerprint": fault_plan.fingerprint()}
+            if fault_plan is not None
+            else None
+        ),
     )
     ledger = RunLedger(getattr(args, "ledger_dir", None))
     try:
@@ -229,10 +249,84 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     topo = _load_topology(spec)
     msize = parse_size(args.msize)
     params = NetworkParams(seed=args.seed)
+    fault_plan = _load_faults(args)
     names = [args.algorithm] if args.algorithm else args.algorithms
     want_telemetry = bool(args.trace_out or args.metrics_out)
     multiple = len(names) > 1
     entries: Dict[str, AlgorithmEntry] = {}
+    unrecoverable = 0
+
+    if fault_plan is not None:
+        from repro.faults.runtime import run_resilient
+
+        print(
+            f"fault plan {fault_plan.name!r} "
+            f"(fingerprint {fault_plan.fingerprint()}): "
+            f"{len(fault_plan.link_faults)} link fault(s), "
+            f"{len(fault_plan.stragglers)} straggler(s), "
+            f"{len(fault_plan.sync_faults)} sync fault(s), "
+            f"{len(fault_plan.crashes)} crash(es)"
+        )
+        for name in names:
+            res = run_resilient(
+                topo, name, msize, params,
+                faults=fault_plan, telemetry=want_telemetry,
+            )
+            for d in res.decisions:
+                print(
+                    f"  [{d.stage}] {d.from_algorithm} -> {d.to_algorithm}: "
+                    f"{d.reason}"
+                )
+            if not res.completed:
+                unrecoverable += 1
+                print(f"{name:28s} UNRECOVERABLE under fault plan")
+                if res.diagnosis is not None:
+                    print("  " + res.diagnosis.summary().replace("\n", "\n  "))
+                continue
+            result = res.result
+            throughput = result.aggregate_throughput(topo.num_machines, msize)
+            stats = result.fault_stats or {}
+            line = (
+                f"{name:28s} "
+                f"{seconds_to_ms(result.completion_time):9.2f} ms   "
+                f"{bytes_per_sec_to_mbps(throughput):8.1f} Mbps agg   "
+                f"retransmits {stats.get('sync_retransmits', 0)}"
+            )
+            if res.fell_back:
+                line += f"   [fell back to {res.algorithm_used}]"
+            if result.crashed_ranks:
+                line += f"   [crashed: {', '.join(result.crashed_ranks)}]"
+            print(line)
+            if args.trace_out and result.telemetry is not None:
+                path = _derived_path(args.trace_out, name, multiple)
+                result.telemetry.write_perfetto(path)
+                print(f"  wrote Perfetto trace {path}")
+            if args.metrics_out and result.telemetry is not None:
+                path = _derived_path(args.metrics_out, name, multiple)
+                result.telemetry.write_metrics(path)
+                print(f"  wrote metrics {path}")
+            entries[name] = AlgorithmEntry(
+                completion_time_ms=result.completion_time * 1e3,
+                throughput_mbps=bytes_per_sec_to_mbps(throughput),
+                telemetry={
+                    "fault_stats": stats,
+                    "algorithm_used": res.algorithm_used,
+                    "fallback_decisions": res.decisions_dict(),
+                },
+            )
+        _append_ledger(
+            args,
+            command="simulate",
+            topology_spec=spec,
+            fingerprint=topology_fingerprint(topo),
+            num_machines=topo.num_machines,
+            msize=msize,
+            params=params,
+            entries=entries,
+            fault_plan=fault_plan,
+        )
+        return 1 if unrecoverable else 0
+
     for name in names:
         algorithm = get_algorithm(name)
         profiler = PipelineProfiler()
@@ -439,11 +533,18 @@ def _cmd_repro(args: argparse.Namespace) -> int:
         )
         return 2
     print(f"# {experiment.name}: {experiment.description}")
+    fault_plan = _load_faults(args)
+    if fault_plan is not None:
+        print(
+            f"# fault plan {fault_plan.name!r} "
+            f"(fingerprint {fault_plan.fingerprint()})"
+        )
     sizes = [parse_size(s) for s in args.sizes] if args.sizes else None
     result = experiment.run(
         sizes=sizes,
         repetitions=args.repetitions,
         telemetry=bool(args.metrics_out),
+        faults=fault_plan,
     )
     if args.metrics_out:
         import json
@@ -500,8 +601,178 @@ def _cmd_repro(args: argparse.Namespace) -> int:
         msize=None,
         params=result.params,
         entries=entries,
+        fault_plan=fault_plan,
     )
     return 0
+
+
+def _builtin_chaos_plans(topo: Topology, seed: int) -> List[object]:
+    """The default chaos sweep, derived from the topology's own links."""
+    from repro.faults.plan import (
+        FaultPlan,
+        HostStraggler,
+        LinkFault,
+        SyncFault,
+    )
+
+    trunks = [
+        (u, v) for u, v in topo.links
+        if topo.is_switch(u) and topo.is_switch(v)
+    ]
+    target = trunks[0] if trunks else topo.links[0]
+    victim = topo.machines[0]
+    return [
+        FaultPlan(
+            name="sync-loss", seed=seed,
+            sync_faults=[SyncFault(loss=0.2)],
+        ),
+        FaultPlan(
+            name="sync-delay-dup", seed=seed,
+            sync_faults=[
+                SyncFault(delay_prob=0.3, delay_mean=1e-3, duplicate=0.1)
+            ],
+        ),
+        FaultPlan(
+            name="degraded-trunk", seed=seed,
+            link_faults=[LinkFault(link=target, factor=0.25)],
+        ),
+        FaultPlan(
+            name="link-flap", seed=seed,
+            link_faults=[
+                LinkFault(link=target, failed=True, start=0.001, end=0.02)
+            ],
+        ),
+        FaultPlan(
+            name="straggler", seed=seed,
+            stragglers=[HostStraggler(rank=victim, factor=6.0)],
+        ),
+        FaultPlan(
+            name="link-failure", seed=seed,
+            link_faults=[LinkFault(link=target, failed=True)],
+        ),
+    ]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.plan import load_fault_plan
+    from repro.faults.runtime import run_resilient
+    from repro.obs.ledger import AlgorithmEntry, topology_fingerprint
+
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    params = NetworkParams(seed=args.seed)
+
+    if args.plans:
+        plans = [load_fault_plan(path) for path in args.plans]
+    else:
+        plans = _builtin_chaos_plans(topo, args.seed)
+    for plan in plans:
+        plan.validate_against(topo)
+
+    # Fault-free baselines, one per algorithm.
+    baselines: Dict[str, float] = {}
+    for name in args.algorithms:
+        algorithm = get_algorithm(name)
+        programs = algorithm.build_programs(topo, msize)
+        baselines[name] = run_programs(
+            topo, programs, msize, params
+        ).completion_time
+
+    print(
+        f"chaos sweep on {args.topology} ({topo.num_machines} machines), "
+        f"msize {args.msize}, seed {args.seed}: "
+        f"{len(plans)} plan(s) x {len(args.algorithms)} algorithm(s)"
+    )
+    header = (
+        f"{'plan':<16} {'algorithm':<12} {'baseline':>9} {'faulted':>9} "
+        f"{'slowdown':>8} {'rexmit':>6} {'recov':>5}  outcome"
+    )
+    print(header)
+    print("-" * len(header))
+
+    artifact: Dict[str, object] = {
+        "topology": args.topology,
+        "num_machines": topo.num_machines,
+        "msize": msize,
+        "seed": args.seed,
+        "results": [],
+    }
+    entries: Dict[str, AlgorithmEntry] = {}
+    unrecoverable = 0
+    for plan in plans:
+        for name in args.algorithms:
+            res = run_resilient(topo, name, msize, params, faults=plan)
+            base = baselines[name]
+            row: Dict[str, object] = {
+                "plan": plan.name,
+                "fingerprint": plan.fingerprint(),
+                "algorithm": name,
+                "completed": res.completed,
+                "algorithm_used": res.algorithm_used,
+                "baseline_ms": base * 1e3,
+                "decisions": res.decisions_dict(),
+            }
+            if res.diagnosis is not None:
+                row["diagnosis"] = res.diagnosis.as_dict()
+            if res.completed:
+                result = res.result
+                stats = result.fault_stats or {}
+                # Retransmissions that actually recovered a lost sync:
+                # abandoned syncs burn the whole retry budget first.
+                recovered = stats.get("sync_retransmits", 0) - stats.get(
+                    "syncs_abandoned", 0
+                ) * params.sync_max_retries
+                slowdown = result.completion_time / base if base > 0 else 0.0
+                outcome = (
+                    f"fell-back({res.algorithm_used})"
+                    if res.fell_back
+                    else "ok"
+                )
+                if result.crashed_ranks:
+                    outcome += f" crashed={len(result.crashed_ranks)}"
+                print(
+                    f"{plan.name:<16} {name:<12} "
+                    f"{base * 1e3:8.2f}m {result.completion_time * 1e3:8.2f}m "
+                    f"{slowdown:7.2f}x {stats.get('sync_retransmits', 0):>6} "
+                    f"{max(0, recovered):>5}  {outcome}"
+                )
+                row.update(
+                    faulted_ms=result.completion_time * 1e3,
+                    slowdown=slowdown,
+                    fault_stats=stats,
+                    crashed_ranks=list(result.crashed_ranks),
+                )
+                entries[f"{name}@{plan.name}"] = AlgorithmEntry(
+                    completion_time_ms=result.completion_time * 1e3,
+                    telemetry={"fault_stats": stats, "slowdown": slowdown},
+                )
+            else:
+                unrecoverable += 1
+                print(
+                    f"{plan.name:<16} {name:<12} {base * 1e3:8.2f}m "
+                    f"{'--':>9} {'--':>8} {'--':>6} {'--':>5}  UNRECOVERABLE"
+                )
+            artifact["results"].append(row)
+
+    if args.diagnosis_out:
+        with open(args.diagnosis_out, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote diagnosis artifact {args.diagnosis_out}")
+
+    _append_ledger(
+        args,
+        command="chaos",
+        topology_spec=args.topology,
+        fingerprint=topology_fingerprint(topo),
+        num_machines=topo.num_machines,
+        msize=msize,
+        params=params,
+        entries=entries,
+    )
+    return 1 if unrecoverable else 0
 
 
 def _cmd_report_list(args: argparse.Namespace) -> int:
@@ -700,6 +971,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome/Perfetto trace JSON per algorithm")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write a link/flow metrics JSON per algorithm")
+    p.add_argument("--faults", default=None, metavar="FILE",
+                   help="fault-injection plan JSON (run under chaos, with "
+                        "retry/watchdog/fallback resilience)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -769,7 +1043,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="text throughput plot")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write per-cell metrics incl. link stats as JSON")
+    p.add_argument("--faults", default=None, metavar="FILE",
+                   help="fault-injection plan JSON applied to every cell")
     p.set_defaults(func=_cmd_repro)
+
+    p = sub.add_parser(
+        "chaos", parents=[common, ledger_opts],
+        help="fault-injection sweep: degradation and recovery per algorithm",
+    )
+    p.add_argument("topology", nargs="?", default="fig1",
+                   help="file path or builtin: a, b, c, fig1")
+    p.add_argument("--msize", default="32KB", help="per-pair message size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["generated", "mpich"],
+        choices=available_algorithms(),
+    )
+    p.add_argument("--plans", nargs="+", default=None, metavar="FILE",
+                   help="fault-plan JSON files (default: built-in sweep "
+                        "derived from the topology)")
+    p.add_argument("--diagnosis-out", default=None, metavar="FILE",
+                   help="write watchdog diagnoses, fault stats and fallback "
+                        "decisions as a JSON artifact")
+    p.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser(
         "report", help="inspect and compare runs from the run ledger"
@@ -815,7 +1113,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(getattr(args, "verbose", 0))
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-aapc: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,24 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed or references unknown nodes."""
+
+
+class StallError(SimulationError):
+    """The stall watchdog aborted a run that stopped making progress.
+
+    Carries a :class:`repro.faults.watchdog.StallDiagnosis` naming the
+    blocked phase, the pending synchronization edges and the fault(s)
+    that plausibly caused the stall, so callers get an explanation (and
+    a fallback opportunity) instead of a hung simulation.
+    """
+
+    def __init__(self, message: str, diagnosis=None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
 class ProgramError(ReproError):
     """A per-rank communication program is malformed or deadlocks."""
 

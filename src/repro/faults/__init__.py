@@ -1,0 +1,68 @@
+"""Deterministic fault injection and resilient execution.
+
+Declarative, seeded chaos plans (:mod:`repro.faults.plan`), the runtime
+oracle the simulator consults (:mod:`repro.faults.injector`), the
+no-progress watchdog (:mod:`repro.faults.watchdog`) and the graceful
+fallback policy (:mod:`repro.faults.runtime`).  See docs/robustness.md.
+"""
+
+from repro.faults.events import (
+    FallbackDecision,
+    FaultWindow,
+    RankCrashed,
+    SyncAbandoned,
+    SyncDisrupted,
+    SyncRetransmit,
+)
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import (
+    FOREVER,
+    FaultPlan,
+    HostStraggler,
+    LinkFault,
+    RankCrash,
+    SyncFault,
+    load_fault_plan,
+)
+from repro.faults.runtime import (
+    FaultAssessment,
+    ResilientResult,
+    assess_fault_plan,
+    fallback_algorithm,
+    run_resilient,
+)
+from repro.faults.watchdog import (
+    BlockedRank,
+    PendingSyncEdge,
+    StallDiagnosis,
+    StallWatchdog,
+    WatchdogConfig,
+)
+
+__all__ = [
+    "FOREVER",
+    "BlockedRank",
+    "FallbackDecision",
+    "FaultAssessment",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultWindow",
+    "HostStraggler",
+    "LinkFault",
+    "PendingSyncEdge",
+    "RankCrash",
+    "RankCrashed",
+    "ResilientResult",
+    "StallDiagnosis",
+    "StallWatchdog",
+    "SyncAbandoned",
+    "SyncDisrupted",
+    "SyncFault",
+    "SyncRetransmit",
+    "WatchdogConfig",
+    "assess_fault_plan",
+    "fallback_algorithm",
+    "load_fault_plan",
+    "run_resilient",
+]

@@ -1,0 +1,87 @@
+"""Fault-related telemetry events (published on the obs event bus).
+
+These are plain frozen dataclasses — the bus dispatches on exact type,
+so the obs stack consumes them without :mod:`repro.obs` ever importing
+:mod:`repro.faults` (no layering cycle).  The Perfetto exporter renders
+:class:`FaultWindow` instances as a dedicated "faults" track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One declared fault becoming visible to the run.
+
+    ``kind`` is ``"link-degraded"``, ``"link-failed"``, ``"straggler"``,
+    ``"sync-fault"`` or ``"crash"``; ``target`` names the affected link
+    (``"u<->v"``) or rank.  ``end`` is ``None`` for open-ended windows.
+    """
+
+    start: float
+    end: Optional[float]
+    kind: str
+    target: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SyncDisrupted:
+    """A sync message attempt was dropped, delayed or duplicated."""
+
+    time: float
+    src: str
+    dst: str
+    tag: int
+    #: "drop" | "delay" | "duplicate" | "link-drop"
+    what: str
+    attempt: int
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class SyncRetransmit:
+    """The resilience layer retransmitted a sync message."""
+
+    time: float
+    src: str
+    dst: str
+    tag: int
+    attempt: int
+    backoff: float
+
+
+@dataclass(frozen=True)
+class SyncAbandoned:
+    """A sync message exhausted its retry budget (delivery gave up)."""
+
+    time: float
+    src: str
+    dst: str
+    tag: int
+    attempts: int
+
+
+@dataclass(frozen=True)
+class RankCrashed:
+    """A rank stopped executing its program (crash-at-time fault)."""
+
+    time: float
+    rank: str
+    op_index: int
+    phase: int
+
+
+@dataclass(frozen=True)
+class FallbackDecision:
+    """The resilient runtime changed algorithm (or gave up), and why."""
+
+    time: float
+    #: "pre-run" | "mid-run" | "abort"
+    stage: str
+    from_algorithm: str
+    to_algorithm: str
+    reason: str

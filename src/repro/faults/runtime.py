@@ -1,0 +1,331 @@
+"""Resilient execution: assess fault plans, run with a watchdog, fall back.
+
+The generated (scheduled) routine depends on pair-wise synchronization
+messages.  Under a fault plan those can be permanently unrecoverable —
+a failed link drops every control message crossing it — in which case
+running the scheduled routine just burns simulated time until the stall
+watchdog aborts it.  This module implements the policy layer:
+
+* :func:`assess_fault_plan` — pre-run triage.  Revalidates the
+  schedule's contention-freedom guarantee against the degraded topology
+  (a permanently failed link voids it: everything crossing the link
+  serialises behind its residual trickle) and decides whether the
+  sync-dependent scheduled routine can complete at all.
+* :func:`run_resilient` — run an algorithm under a plan with the
+  watchdog armed.  Falls back to a synchronization-free algorithm
+  (pairwise for power-of-two clusters, ring otherwise) either *pre-run*
+  (triage says the scheduled routine cannot finish) or *mid-run* (the
+  watchdog fired); every decision is recorded as a
+  :class:`~repro.faults.events.FallbackDecision`.  A plan that
+  partitions the cluster (``residual=0`` permanent failure) is reported
+  as unrecoverable instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError, StallError, VerificationError
+from repro.algorithms.registry import get_algorithm
+from repro.core.scheduler import schedule_aapc
+from repro.core.verify import verify_contention_free
+from repro.faults.events import FallbackDecision
+from repro.faults.plan import FOREVER, FaultPlan
+from repro.faults.watchdog import StallDiagnosis, WatchdogConfig
+from repro.sim.executor import RunResult, run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.graph import Topology
+from repro.topology.paths import PathOracle
+
+#: Algorithms whose correctness depends on pair-wise sync messages.
+SYNC_DEPENDENT = frozenset({"generated", "scheduled"})
+
+
+def fallback_algorithm(num_machines: int) -> str:
+    """The sync-free algorithm to degrade to: pairwise needs 2^k ranks."""
+    n = num_machines
+    if n >= 2 and (n & (n - 1)) == 0:
+        return "mpich-pairwise"
+    return "mpich-ring"
+
+
+@dataclass
+class FaultAssessment:
+    """Pre-run triage verdict for a (topology, fault plan) pair."""
+
+    #: The sync-dependent scheduled routine can complete under the plan.
+    scheduled_viable: bool
+    #: A sync-free fallback can complete (data still flows everywhere).
+    fallback_viable: bool
+    #: A residual-0 permanent failure splits the tree: nothing completes.
+    partitioned: bool
+    #: The schedule's contention-freedom guarantee survives the plan.
+    contention_free: bool
+    reasons: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scheduled_viable": self.scheduled_viable,
+            "fallback_viable": self.fallback_viable,
+            "partitioned": self.partitioned,
+            "contention_free": self.contention_free,
+            "reasons": list(self.reasons),
+        }
+
+
+def assess_fault_plan(
+    topology: Topology,
+    plan: FaultPlan,
+    *,
+    check_schedule: bool = True,
+) -> FaultAssessment:
+    """Triage *plan* before running: what can still complete, and why.
+
+    With *check_schedule* the generated schedule is rebuilt and
+    revalidated: first against the pristine topology (the paper's
+    contention-freedom theorem), then against the degraded one — any
+    scheduled message whose path crosses a permanently failed link voids
+    the guarantee, because that link's capacity collapse serialises
+    every phase crossing it.
+    """
+    plan.validate_against(topology)
+    reasons: List[str] = []
+    oracle = PathOracle(topology)
+    permanent = plan.permanent_link_failures()
+    partitioned = any(lf.residual <= 0 for lf in permanent)
+    if partitioned:
+        dead = [lf.link for lf in permanent if lf.residual <= 0]
+        reasons.append(
+            f"link(s) {dead} are permanently dead (residual=0): the tree "
+            "is partitioned, no algorithm can complete"
+        )
+
+    scheduled_viable = True
+    contention_free = True
+
+    # A permanently failed link drops every control (sync) message
+    # crossing it, forever — the retry/backoff protocol cannot recover,
+    # so any sync edge routed over it makes the scheduled routine stall.
+    failed_links = {frozenset(lf.link) for lf in permanent}
+    if failed_links:
+        machines = topology.machines
+        affected = set()
+        for i, src in enumerate(machines):
+            for dst in machines[i + 1:]:
+                for u, v in oracle.path_edges(src, dst):
+                    if frozenset((u, v)) in failed_links:
+                        affected.add(tuple(sorted((u, v))))
+        if affected:
+            scheduled_viable = False
+            contention_free = False
+            reasons.append(
+                "permanent link failure(s) on "
+                f"{sorted(affected)} drop sync "
+                "messages forever; the scheduled routine cannot complete "
+                "and its contention-freedom guarantee is void on the "
+                "degraded topology"
+            )
+
+    for sf in plan.sync_faults:
+        if (
+            sf.loss >= 1.0
+            and sf.end == FOREVER
+            and sf.src is None
+            and sf.dst is None
+        ):
+            scheduled_viable = False
+            reasons.append(
+                "a permanent total sync-loss fault (loss=1, no end) makes "
+                "every pair-wise synchronization unrecoverable"
+            )
+
+    if check_schedule and not partitioned:
+        try:
+            schedule = schedule_aapc(topology, verify=False)
+            verify_contention_free(schedule, oracle)
+        except (VerificationError, ReproError) as exc:
+            contention_free = False
+            scheduled_viable = False
+            reasons.append(f"schedule revalidation failed: {exc}")
+
+    return FaultAssessment(
+        scheduled_viable=scheduled_viable and not partitioned,
+        fallback_viable=not partitioned,
+        partitioned=partitioned,
+        contention_free=contention_free and not partitioned,
+        reasons=reasons,
+    )
+
+
+@dataclass
+class ResilientResult:
+    """What :func:`run_resilient` did, end to end."""
+
+    #: The successful run, if any algorithm completed.
+    result: Optional[RunResult]
+    #: Algorithm that actually completed ("none" if nothing did).
+    algorithm_used: str
+    requested_algorithm: str
+    decisions: List[FallbackDecision] = field(default_factory=list)
+    #: Watchdog diagnosis of the aborted attempt, when one stalled.
+    diagnosis: Optional[StallDiagnosis] = None
+    assessment: Optional[FaultAssessment] = None
+    completed: bool = False
+
+    @property
+    def fell_back(self) -> bool:
+        return self.completed and self.algorithm_used != self.requested_algorithm
+
+    def decisions_dict(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "time": d.time,
+                "stage": d.stage,
+                "from": d.from_algorithm,
+                "to": d.to_algorithm,
+                "reason": d.reason,
+            }
+            for d in self.decisions
+        ]
+
+
+def run_resilient(
+    topology: Topology,
+    algorithm: str,
+    msize: int,
+    params: NetworkParams,
+    *,
+    faults: Optional[FaultPlan] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    pre_assess: bool = True,
+    telemetry: bool = False,
+    check_delivery: bool = True,
+) -> ResilientResult:
+    """Run *algorithm* under *faults*, degrading gracefully when it cannot finish.
+
+    Policy: (1) with *pre_assess*, triage the plan and switch a
+    sync-dependent algorithm to the fallback before running when the
+    plan makes syncs unrecoverable; (2) run with the stall watchdog
+    armed; (3) if the watchdog aborts the run, record a mid-run
+    :class:`~repro.faults.events.FallbackDecision` and re-run with the
+    sync-free fallback (modelling an implementation that restarts the
+    collective with a conservative algorithm after a timeout); (4) if
+    the fallback stalls too — or the plan partitions the cluster — give
+    up and report the diagnosis instead of hanging.
+    """
+    plan = faults
+    requested = algorithm
+    decisions: List[FallbackDecision] = []
+    assessment: Optional[FaultAssessment] = None
+    fb = fallback_algorithm(topology.num_machines)
+
+    def attempt(name: str) -> RunResult:
+        algo = get_algorithm(name)
+        programs = algo.build_programs(topology, msize)
+        return run_programs(
+            topology,
+            programs,
+            msize,
+            params,
+            faults=plan,
+            watchdog=watchdog,
+            telemetry=telemetry,
+            check_delivery=check_delivery,
+        )
+
+    chosen = algorithm
+    if plan is not None and not plan.empty and pre_assess:
+        assessment = assess_fault_plan(
+            topology, plan, check_schedule=algorithm in SYNC_DEPENDENT
+        )
+        if assessment.partitioned:
+            decisions.append(
+                FallbackDecision(
+                    0.0, "abort", algorithm, "none",
+                    "; ".join(assessment.reasons),
+                )
+            )
+            return ResilientResult(
+                result=None,
+                algorithm_used="none",
+                requested_algorithm=requested,
+                decisions=decisions,
+                assessment=assessment,
+                completed=False,
+            )
+        if algorithm in SYNC_DEPENDENT and not assessment.scheduled_viable:
+            decisions.append(
+                FallbackDecision(
+                    0.0, "pre-run", algorithm, fb,
+                    "; ".join(assessment.reasons)
+                    or "fault plan makes sync messages unrecoverable",
+                )
+            )
+            chosen = fb
+
+    diagnosis: Optional[StallDiagnosis] = None
+    try:
+        result = attempt(chosen)
+        return ResilientResult(
+            result=result,
+            algorithm_used=chosen,
+            requested_algorithm=requested,
+            decisions=decisions,
+            assessment=assessment,
+            completed=True,
+        )
+    except StallError as exc:
+        diagnosis = exc.diagnosis
+        stall_time = diagnosis.time if diagnosis is not None else 0.0
+        cause = (
+            diagnosis.suspected_cause if diagnosis is not None else str(exc)
+        )
+        if chosen == fb:
+            decisions.append(
+                FallbackDecision(stall_time, "abort", chosen, "none", cause)
+            )
+            return ResilientResult(
+                result=None,
+                algorithm_used="none",
+                requested_algorithm=requested,
+                decisions=decisions,
+                diagnosis=diagnosis,
+                assessment=assessment,
+                completed=False,
+            )
+        decisions.append(
+            FallbackDecision(stall_time, "mid-run", chosen, fb, cause)
+        )
+
+    try:
+        result = attempt(fb)
+        return ResilientResult(
+            result=result,
+            algorithm_used=fb,
+            requested_algorithm=requested,
+            decisions=decisions,
+            diagnosis=diagnosis,
+            assessment=assessment,
+            completed=True,
+        )
+    except StallError as exc:
+        final = exc.diagnosis if exc.diagnosis is not None else diagnosis
+        decisions.append(
+            FallbackDecision(
+                final.time if final is not None else 0.0,
+                "abort",
+                fb,
+                "none",
+                final.suspected_cause if final is not None else str(exc),
+            )
+        )
+        return ResilientResult(
+            result=None,
+            algorithm_used="none",
+            requested_algorithm=requested,
+            decisions=decisions,
+            diagnosis=final,
+            assessment=assessment,
+            completed=False,
+        )

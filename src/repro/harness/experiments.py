@@ -66,7 +66,10 @@ class Experiment:
         sizes: Optional[Sequence[int]] = None,
         repetitions: Optional[int] = None,
         telemetry: bool = False,
+        faults=None,
     ) -> ExperimentResult:
+        """*faults* is an optional :class:`~repro.faults.plan.FaultPlan`
+        injected into every simulated repetition (chaos benchmarking)."""
         topology = self.topology_factory()
         algorithms = [factory() for factory in self.algorithm_factories]
         workloads = message_size_sweep(
@@ -75,7 +78,7 @@ class Experiment:
         )
         return run_experiment(
             self.name, topology, algorithms, workloads, params,
-            telemetry=telemetry,
+            telemetry=telemetry, faults=faults,
         )
 
 

@@ -95,6 +95,7 @@ def run_experiment(
     *,
     check_delivery: bool = True,
     telemetry: bool = False,
+    faults=None,
 ) -> ExperimentResult:
     """Simulate every (algorithm, workload) cell and average repetitions.
 
@@ -102,6 +103,11 @@ def run_experiment(
     the flight recorder and its link-level summary is attached to the
     cell's :class:`MeasurementPoint` (one instrumented run per cell
     keeps the grid cost flat).
+
+    *faults* (a :class:`~repro.faults.plan.FaultPlan`) injects the same
+    chaos into every repetition; a stalled cell raises
+    :class:`~repro.errors.StallError` with a diagnosis rather than
+    hanging the grid.
     """
     if params is None:
         params = NetworkParams()
@@ -126,6 +132,7 @@ def run_experiment(
                     oracle=oracle,
                     check_delivery=check_delivery,
                     telemetry=telemetry and i == 0,
+                    faults=faults,
                 )
                 samples.append(run.completion_time)
                 peak_flows = max(peak_flows, run.peak_concurrent_flows)

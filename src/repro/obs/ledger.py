@@ -139,6 +139,9 @@ class RunRecord:
     params: Dict[str, object]
     algorithms: Dict[str, AlgorithmEntry]
     git_sha: Optional[str] = None
+    #: ``{"name": ..., "fingerprint": ...}`` of the fault plan the run
+    #: executed under, when chaos was injected.
+    fault_plan: Optional[Dict[str, str]] = None
     schema: int = LEDGER_SCHEMA_VERSION
     repro_version: str = __version__
 
@@ -153,6 +156,7 @@ class RunRecord:
         msize: Optional[int],
         params: Dict[str, object],
         algorithms: Dict[str, AlgorithmEntry],
+        fault_plan: Optional[Dict[str, str]] = None,
     ) -> "RunRecord":
         stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
         return cls(
@@ -167,10 +171,11 @@ class RunRecord:
             params=params,
             algorithms=algorithms,
             git_sha=current_git_sha(),
+            fault_plan=fault_plan,
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema": self.schema,
             "repro_version": self.repro_version,
             "run_id": self.run_id,
@@ -189,6 +194,9 @@ class RunRecord:
                 for name, entry in sorted(self.algorithms.items())
             },
         }
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
@@ -218,6 +226,7 @@ class RunRecord:
                 for name, entry in (data.get("algorithms") or {}).items()
             },
             git_sha=data.get("git_sha"),
+            fault_plan=data.get("fault_plan"),
             schema=schema,
             repro_version=str(data.get("repro_version", "")),
         )
@@ -237,11 +246,24 @@ class RunLedger:
         return os.path.join(self.directory, LEDGER_FILENAME)
 
     def append(self, record: RunRecord) -> str:
-        """Append one record as a JSON line; returns the ledger path."""
+        """Append one record as a JSON line; returns the ledger path.
+
+        The line (payload + newline) is written with a single
+        ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+        writers (parallel CI shards sharing a ledger) interleave whole
+        records rather than torn fragments.
+        """
         os.makedirs(self.directory, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            json.dump(record.as_dict(), fh, sort_keys=True)
-            fh.write("\n")
+        payload = (
+            json.dumps(record.as_dict(), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
         logger.info(
             "ledger: appended run %s (%s on %s) to %s",
             record.run_id,
@@ -252,22 +274,42 @@ class RunLedger:
         return self.path
 
     def records(self) -> List[RunRecord]:
-        """All records, oldest first.  Raises on corrupt/future lines."""
+        """All records, oldest first.
+
+        A corrupt or truncated *final* line — the signature of a crash
+        or full disk mid-append — is skipped with a logged warning so
+        one bad shutdown does not brick the whole ledger.  Corruption
+        anywhere *before* the last line still raises: that is not a
+        torn append but real damage, and silently dropping records
+        would skew every later comparison.
+        """
         if not os.path.exists(self.path):
             return []
-        out: List[RunRecord] = []
         with open(self.path, "r", encoding="utf-8") as fh:
-            for lineno, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
+            lines = fh.readlines()
+        numbered = [
+            (lineno, line.strip())
+            for lineno, line in enumerate(lines, start=1)
+            if line.strip()
+        ]
+        out: List[RunRecord] = []
+        for i, (lineno, line) in enumerate(numbered):
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if i == len(numbered) - 1:
+                    logger.warning(
+                        "ledger: skipping corrupt trailing line %d in %s "
+                        "(truncated append?): %s",
+                        lineno,
+                        self.path,
+                        exc,
+                    )
                     continue
-                try:
-                    data = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ReproError(
-                        f"corrupt ledger line {lineno} in {self.path}: {exc}"
-                    ) from exc
-                out.append(RunRecord.from_dict(data))
+                raise ReproError(
+                    f"corrupt ledger line {lineno} in {self.path}: {exc}"
+                ) from exc
+            out.append(RunRecord.from_dict(data))
         return out
 
     def find(self, ref: str) -> RunRecord:

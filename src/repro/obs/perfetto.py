@@ -21,6 +21,10 @@ Produces the classic Trace Event Format (loadable by both
   span (rooting, phase partitioning, program emission, transitive
   reduction, ...), counters in the args.  Its clock is the profiler's
   monotonic epoch, not simulated time — read it as its own timeline.
+* **faults** (pid 6) — when the run executed under a fault plan: one
+  duration slice per declared fault window (open-ended windows are
+  clipped to the completion time) plus an instant per sync disruption /
+  retransmit / abandonment, so chaos lines up with rank stalls.
 
 Timestamps are microseconds (the format's native unit).
 """
@@ -40,6 +44,7 @@ _PID_LINKS = 2
 _PID_FLOWS = 3
 _PID_PHASES = 4
 _PID_PIPELINE = 5
+_PID_FAULTS = 6
 
 
 def _us(t: float) -> float:
@@ -166,6 +171,54 @@ def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
             _meta(_PID_PIPELINE, "scheduling pipeline", 0, thread=True)
         )
         events.extend(telemetry.pipeline.perfetto_events(pid=_PID_PIPELINE))
+
+    # --- faults track -------------------------------------------------
+    if telemetry.faults or telemetry.sync_disruptions:
+        events.append(_meta(_PID_FAULTS, "faults"))
+        events.append(_meta(_PID_FAULTS, "fault windows", 0, thread=True))
+        events.append(_meta(_PID_FAULTS, "sync disruptions", 1, thread=True))
+        horizon = telemetry.completion_time
+        for w in telemetry.faults:
+            end = horizon if w.end is None else min(w.end, max(horizon, w.start))
+            events.append(
+                {
+                    "name": f"{w.kind} {w.target}",
+                    "cat": "fault",
+                    "ph": "X",
+                    "ts": _us(w.start),
+                    "dur": _us(max(0.0, end - w.start)),
+                    "pid": _PID_FAULTS,
+                    "tid": 0,
+                    "args": {"kind": w.kind, "target": w.target,
+                             "detail": w.detail, "open_ended": w.end is None},
+                }
+            )
+        for ev in telemetry.sync_disruptions:
+            kind = type(ev).__name__
+            if kind == "SyncDisrupted":
+                name = f"{ev.what} {ev.src}->{ev.dst}"
+                args = {"tag": ev.tag, "attempt": ev.attempt, "delay": ev.delay}
+            elif kind == "SyncRetransmit":
+                name = f"retransmit {ev.src}->{ev.dst}"
+                args = {"tag": ev.tag, "attempt": ev.attempt,
+                        "backoff": ev.backoff}
+            elif kind == "SyncAbandoned":
+                name = f"ABANDONED {ev.src}->{ev.dst}"
+                args = {"tag": ev.tag, "attempts": ev.attempts}
+            else:  # pragma: no cover - future event kinds
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _us(ev.time),
+                    "pid": _PID_FAULTS,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
     return events
 
 

@@ -70,6 +70,13 @@ class RunTelemetry:
     #: (attached by callers that built programs under an active
     #: :class:`~repro.obs.profiling.PipelineProfiler`).
     pipeline: Optional[PipelineProfile] = None
+    #: Declared fault windows (``repro.faults.events.FaultWindow``) —
+    #: plain dataclasses, no import of :mod:`repro.faults` needed here.
+    faults: Tuple[object, ...] = ()
+    #: Sync disruption/retransmit/abandon events, in time order.
+    sync_disruptions: Tuple[object, ...] = ()
+    #: Injector counters (``FaultStats.as_dict()``), when faults ran.
+    fault_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +116,21 @@ class RunTelemetry:
         }
         if self.pipeline is not None:
             data["pipeline"] = self.pipeline.as_dicts()
+        if self.fault_stats is not None:
+            data["faults"] = {
+                "windows": [
+                    {
+                        "start": w.start,
+                        "end": w.end,
+                        "kind": w.kind,
+                        "target": w.target,
+                        "detail": w.detail,
+                    }
+                    for w in self.faults
+                ],
+                "disruptions": len(self.sync_disruptions),
+                "stats": dict(self.fault_stats),
+            }
         return data
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ProgramError, SimulationError
+from repro.errors import ProgramError, SimulationError, StallError
 from repro.core.program import Block, Op, OpKind, Program
 from repro.obs.bus import EventBus, LinkOccupancy
 from repro.obs.diagnostics import schedule_health
@@ -32,6 +32,10 @@ from repro.sim.params import NetworkParams
 from repro.sim.trace import Trace, TraceRecord
 from repro.topology.graph import Topology
 from repro.topology.paths import PathOracle
+
+if False:  # typing only — keep repro.sim import-light when faults are unused
+    from repro.faults.plan import FaultPlan
+    from repro.faults.watchdog import WatchdogConfig
 
 
 @dataclass
@@ -54,6 +58,10 @@ class RunResult:
     trace: Optional[Trace] = None
     #: Flight-recorder bundle (``run_programs(..., telemetry=True)``).
     telemetry: Optional[RunTelemetry] = None
+    #: What the fault injector did to this run (fault injection only).
+    fault_stats: Optional[Dict[str, int]] = None
+    #: Ranks that crashed mid-run (crash-at-time faults).
+    crashed_ranks: Tuple[str, ...] = ()
 
     def aggregate_throughput(self, num_machines: int, msize: int) -> float:
         """Realised aggregate throughput in bytes/second (paper metric)."""
@@ -90,6 +98,8 @@ def run_programs(
     check_delivery: bool = True,
     expected_blocks: Optional[Dict[str, Set[Block]]] = None,
     link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
+    faults: Optional["FaultPlan"] = None,
+    watchdog: Optional["WatchdogConfig"] = None,
 ) -> RunResult:
     """Simulate the programs and return timing plus correctness results.
 
@@ -117,6 +127,18 @@ def run_programs(
     link_bandwidths:
         Optional per-physical-link bandwidth overrides (bytes/second)
         for heterogeneous clusters; see :class:`FlowNetwork`.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Link capacities
+        degrade per the plan, sync messages are lost/delayed/duplicated
+        (and retransmitted with bounded backoff), stragglers slow down
+        and crashed ranks stop.  Implies the stall watchdog (default
+        config) unless *watchdog* overrides it.
+    watchdog:
+        Optional :class:`~repro.faults.watchdog.WatchdogConfig`.  When
+        active, a run that stops making progress raises
+        :class:`~repro.errors.StallError` carrying a
+        :class:`~repro.faults.watchdog.StallDiagnosis` instead of
+        hanging or dying with an unexplained deadlock.
     """
     machines = list(topology.machines)
     missing = [m for m in machines if m not in programs]
@@ -126,11 +148,46 @@ def run_programs(
     observing = trace or telemetry
     bus = EventBus() if observing else None
     engine = Engine()
-    network = FlowNetwork(
-        engine, topology, params, oracle, link_bandwidths, bus=bus
-    )
-    mpi = SimMPI(engine, network, params)
+    # One master RNG seeds every stochastic path (per-rank noise streams
+    # and the fault injector) so identical seeds replay byte-identically.
     rng = random.Random(params.seed)
+
+    injector = None
+    fault_windows: List[object] = []
+    sync_disruptions: List[object] = []
+    if faults is not None and not faults.empty:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.events import (
+            FaultWindow,
+            SyncAbandoned,
+            SyncDisrupted,
+            SyncRetransmit,
+        )
+
+        faults.validate_against(topology)
+        if oracle is None:
+            oracle = PathOracle(topology)
+        if bus is not None and telemetry:
+            bus.subscribe(FaultWindow, fault_windows.append)
+            for ev in (SyncDisrupted, SyncRetransmit, SyncAbandoned):
+                bus.subscribe(ev, sync_disruptions.append)
+        injector = FaultInjector(
+            faults,
+            rng=random.Random(rng.getrandbits(64) ^ faults.seed),
+            oracle=oracle,
+            bus=bus,
+        )
+        injector.publish_windows()
+        if watchdog is None:
+            from repro.faults.watchdog import WatchdogConfig
+
+            watchdog = WatchdogConfig()
+
+    network = FlowNetwork(
+        engine, topology, params, oracle, link_bandwidths, bus=bus,
+        injector=injector,
+    )
+    mpi = SimMPI(engine, network, params, injector=injector, bus=bus)
     run_trace = Trace(enabled=observing, max_records=max_trace_records)
     collector: Optional[LinkMetricsCollector] = None
     occupancy_log: List[LinkOccupancy] = []
@@ -172,16 +229,30 @@ def run_programs(
             base *= 1.0 + params.jitter * r.random()
         if params.stall_prob > 0 and r.random() < params.stall_prob:
             base += r.expovariate(1.0 / params.stall_mean)
+        if injector is not None:
+            base *= injector.overhead_factor(rank, engine.now)
         return base
+
+    # Progress accounting for the stall watchdog: ops_completed ticks on
+    # every finished operation; rank_state remembers what each rank is
+    # currently parked on so a stall can be attributed to a phase and a
+    # pending sync edge rather than just "it hung".
+    ops_completed = [0]
+    rank_state: Dict[str, Tuple[int, Op, float]] = {}
+    crashed: Set[str] = set()
 
     def rank_process(rank: str, program: Program):
         pending: List[Request] = []
-        for op in program.ops:
+        for op_index, op in enumerate(program.ops):
+            if rank in crashed:
+                return
+            rank_state[rank] = (op_index, op, engine.now)
             if op.kind in (OpKind.ISEND, OpKind.SEND):
                 yield overhead(rank)
                 emit(rank, "post_send", op.peer, op.tag, op.phase)
                 req = mpi.isend(
-                    rank, op.peer, op.tag, op.wire_size(msize), op.blocks
+                    rank, op.peer, op.tag, op.wire_size(msize), op.blocks,
+                    phase=op.phase,
                 )
                 if op.kind == OpKind.SEND:
                     if not req.done:
@@ -192,7 +263,7 @@ def run_programs(
             elif op.kind in (OpKind.IRECV, OpKind.RECV):
                 yield overhead(rank)
                 emit(rank, "post_recv", op.peer, op.tag, op.phase)
-                req = mpi.irecv(rank, op.peer, op.tag)
+                req = mpi.irecv(rank, op.peer, op.tag, phase=op.phase)
                 if op.kind == OpKind.RECV:
                     if not req.done:
                         yield req.event
@@ -211,12 +282,14 @@ def run_programs(
             elif op.kind == OpKind.SYNC_SEND:
                 yield overhead(rank)
                 emit(rank, "sync_send", op.peer, op.tag, op.phase)
-                req = mpi.isend(rank, op.peer, op.tag, 0, (), sync=True)
+                req = mpi.isend(
+                    rank, op.peer, op.tag, 0, (), sync=True, phase=op.phase
+                )
                 if not req.done:
                     yield req.event
             elif op.kind == OpKind.SYNC_RECV:
                 emit(rank, "sync_wait", op.peer, op.tag, op.phase)
-                req = mpi.irecv(rank, op.peer, op.tag, sync=True)
+                req = mpi.irecv(rank, op.peer, op.tag, sync=True, phase=op.phase)
                 if not req.done:
                     yield req.event
                 emit(rank, "sync_recv", op.peer, op.tag, op.phase)
@@ -226,10 +299,12 @@ def run_programs(
                 emit(rank, "barrier", "", 0, op.phase)
             else:  # pragma: no cover - exhaustive over OpKind
                 raise ProgramError(f"unknown op kind {op.kind!r}")
+            ops_completed[0] += 1
         if pending:
             raise ProgramError(
                 f"rank {rank} ended with {len(pending)} unwaited requests"
             )
+        rank_state.pop(rank, None)
         rank_finish[rank] = engine.now
 
     def _record_blocks(rank: str, req: Request) -> None:
@@ -238,19 +313,152 @@ def run_programs(
             if block[1] == rank:
                 received[rank].add(block)
 
+    def all_done() -> bool:
+        return all(m in rank_finish or m in crashed for m in machines)
+
+    def diagnose(now: float):
+        """Build the stall diagnosis from executor + MPI + injector state."""
+        from repro.faults.watchdog import (
+            BlockedRank,
+            PendingSyncEdge,
+            StallDiagnosis,
+        )
+
+        blocked: List[BlockedRank] = []
+        for m in machines:
+            if m in rank_finish or m in crashed:
+                continue
+            state = rank_state.get(m)
+            if state is None:
+                continue
+            op_index, op, since = state
+            blocked.append(
+                BlockedRank(
+                    m, op_index, op.kind.value, op.peer, op.tag, op.phase,
+                    since,
+                )
+            )
+        pending: List[PendingSyncEdge] = []
+        for (src, dst, tag), entry in sorted(mpi.pending_syncs.items()):
+            edge = (
+                injector.path_control_blocked(src, dst, now)
+                if injector is not None
+                else None
+            )
+            pending.append(
+                PendingSyncEdge(
+                    src, dst, tag,
+                    int(entry.get("phase", -1)),
+                    str(entry.get("state", "in-flight")),
+                    int(entry.get("attempts", 0)),
+                    edge,
+                )
+            )
+        for src, dst, tag, phase, state in sorted(mpi.unmatched_sync_edges()):
+            edge = (
+                injector.path_control_blocked(src, dst, now)
+                if injector is not None
+                else None
+            )
+            pending.append(
+                PendingSyncEdge(src, dst, tag, phase, state, 0, edge)
+            )
+        active = injector.active_faults(now) if injector is not None else []
+        abandoned = [p for p in pending if p.state == "abandoned"]
+        link_blocked = [p for p in pending if p.blocked_edge is not None]
+        if crashed:
+            cause = f"rank(s) {sorted(crashed)} crashed; peers wait forever"
+        elif abandoned:
+            p = abandoned[0]
+            cause = (
+                f"sync {p.src}->{p.dst} (phase {p.phase}) abandoned after "
+                f"{p.attempts} attempts"
+            )
+            if p.blocked_edge:
+                cause += (
+                    f" — failed link {p.blocked_edge[0]}<->{p.blocked_edge[1]}"
+                    " drops all control messages"
+                )
+        elif link_blocked:
+            p = link_blocked[0]
+            cause = (
+                f"failed link {p.blocked_edge[0]}<->{p.blocked_edge[1]} is "
+                f"dropping sync {p.src}->{p.dst} (phase {p.phase})"
+            )
+        elif active:
+            cause = "active fault(s): " + "; ".join(active[:3])
+        else:
+            cause = "no active fault — possible schedule deadlock"
+        return StallDiagnosis(
+            time=now,
+            blocked=blocked,
+            pending_syncs=pending,
+            crashed_ranks=sorted(crashed),
+            active_faults=active,
+            suspected_cause=cause,
+        )
+
+    dog = None
+    if watchdog is not None:
+        from repro.faults.watchdog import StallWatchdog
+
+        dog = StallWatchdog(
+            engine,
+            watchdog,
+            progress=lambda: ops_completed[0],
+            diagnose=diagnose,
+            all_done=all_done,
+        )
+        dog.start()
+
+    if injector is not None:
+        from repro.faults.events import RankCrashed
+
+        def make_crash(rank: str):
+            def crash() -> None:
+                if rank in rank_finish or rank in crashed:
+                    return
+                crashed.add(rank)
+                injector.stats.ranks_crashed += 1
+                state = rank_state.get(rank)
+                op_index = state[0] if state else -1
+                phase = state[1].phase if state else -1
+                emit(rank, "crashed", "", 0, phase)
+                if bus is not None:
+                    bus.publish(
+                        RankCrashed(engine.now, rank, op_index, phase)
+                    )
+
+            return crash
+
+        for m in machines:
+            t = injector.crash_time(m)
+            if t is not None:
+                engine.schedule(t, make_crash(m))
+
     for m in machines:
         engine.spawn(rank_process(m, programs[m]))
     engine.run()
 
-    unfinished = [m for m in machines if m not in rank_finish]
+    unfinished = [
+        m for m in machines if m not in rank_finish and m not in crashed
+    ]
     if unfinished:
+        if injector is not None or watchdog is not None:
+            diagnosis = diagnose(engine.now)
+            raise StallError(
+                f"ranks {unfinished[:5]} never finished "
+                f"({len(unfinished)} total); {diagnosis.summary()}",
+                diagnosis,
+            )
         raise SimulationError(
             f"deadlock: ranks {unfinished[:5]} never finished "
             f"({len(unfinished)} total)"
         )
-    mpi.assert_drained()
+    if not crashed:
+        mpi.assert_drained()
 
-    if check_delivery:
+    if check_delivery and not crashed:
         _check_delivery(machines, received, received_lists, expected_blocks)
 
     completion = max(rank_finish.values()) if rank_finish else 0.0
@@ -275,6 +483,11 @@ def run_programs(
                 bus_events=bus.events_published,
             ),
             occupancy=occupancy_log,
+            faults=tuple(fault_windows),
+            sync_disruptions=tuple(sync_disruptions),
+            fault_stats=(
+                injector.stats.as_dict() if injector is not None else None
+            ),
         )
 
     return RunResult(
@@ -288,6 +501,8 @@ def run_programs(
         edge_bytes=dict(network.edge_bytes),
         trace=run_trace if observing else None,
         telemetry=run_telemetry,
+        fault_stats=injector.stats.as_dict() if injector is not None else None,
+        crashed_ranks=tuple(sorted(crashed)),
     )
 
 

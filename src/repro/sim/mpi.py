@@ -35,7 +35,7 @@ from repro.sim.params import NetworkParams
 class Request:
     """Handle for a pending send or receive."""
 
-    __slots__ = ("event", "kind", "rank", "peer", "tag", "nbytes", "blocks", "post_time", "arrival_event")
+    __slots__ = ("event", "kind", "rank", "peer", "tag", "nbytes", "blocks", "post_time", "arrival_event", "phase")
 
     def __init__(
         self,
@@ -46,6 +46,7 @@ class Request:
         tag: int,
         nbytes: int,
         blocks: Tuple[Block, ...],
+        phase: int = -1,
     ) -> None:
         self.event = event
         self.kind = kind
@@ -55,6 +56,7 @@ class Request:
         self.nbytes = nbytes
         self.blocks = blocks
         self.post_time = event.engine.now
+        self.phase = phase
         #: For buffered sends: triggered when the last byte reaches the
         #: receiving host (independent of a posted receive).
         self.arrival_event: "SimEvent | None" = None
@@ -82,10 +84,21 @@ class SimMPI:
         engine: Engine,
         network: FlowNetwork,
         params: NetworkParams,
+        *,
+        injector=None,
+        bus=None,
     ) -> None:
+        """*injector* (a :class:`~repro.faults.injector.FaultInjector`)
+        turns on the resilience protocol for sync messages: each
+        transmission attempt may be dropped, delayed or duplicated, and
+        lost attempts are retransmitted with bounded exponential backoff
+        (``params.sync_retry_timeout`` / ``sync_backoff`` /
+        ``sync_backoff_cap`` / ``sync_max_retries``)."""
         self.engine = engine
         self.network = network
         self.params = params
+        self.injector = injector
+        self.bus = bus
         self._unmatched_sends: Dict[_MatchKey, Deque[Request]] = {}
         self._unmatched_recvs: Dict[_MatchKey, Deque[Request]] = {}
         # Barrier state: name -> (arrived events, release event)
@@ -93,6 +106,9 @@ class SimMPI:
         self._barrier_expected = 0
         self.messages_matched = 0
         self.flows_started = 0
+        #: Sync deliveries still outstanding (watchdog diagnosis):
+        #: key (src, dst, tag) -> {"phase", "attempts", "state"}.
+        self.pending_syncs: Dict[Tuple[str, str, int], Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     def isend(
@@ -104,9 +120,12 @@ class SimMPI:
         blocks: Tuple[Block, ...] = (),
         *,
         sync: bool = False,
+        phase: int = -1,
     ) -> Request:
         """Post a non-blocking send from *rank* to *peer*."""
-        req = Request(self.engine.event(), "send", rank, peer, tag, nbytes, blocks)
+        req = Request(
+            self.engine.event(), "send", rank, peer, tag, nbytes, blocks, phase
+        )
         mode = "eager" if sync else self.params.transfer_mode(nbytes)
         if mode in ("eager", "buffered"):
             # The transport buffers the whole message: the sender's
@@ -132,9 +151,12 @@ class SimMPI:
         tag: int,
         *,
         sync: bool = False,
+        phase: int = -1,
     ) -> Request:
         """Post a non-blocking receive at *rank* from *peer*."""
-        req = Request(self.engine.event(), "recv", rank, peer, tag, 0, ())
+        req = Request(
+            self.engine.event(), "recv", rank, peer, tag, 0, (), phase
+        )
         key: _MatchKey = (peer, rank, tag, sync)
         sends = self._unmatched_sends.get(key)
         if sends:
@@ -158,10 +180,90 @@ class SimMPI:
 
     def _eager_transfer(self, send: Request, recv: Request, sync: bool) -> None:
         """Small message: sender completed at post, receiver after latency."""
+        if sync and self.injector is not None:
+            self._resilient_sync_transfer(send, recv)
+            return
         latency = self.params.sync_latency if sync else self.params.eager_latency
         arrival = send.post_time + latency
         delay = max(0.0, arrival - self.engine.now)
         self.engine.schedule(delay, lambda: recv.event.trigger(recv))
+
+    # ------------------------------------------------------------------
+    # resilience protocol for sync messages (fault injection active)
+    # ------------------------------------------------------------------
+    def _resilient_sync_transfer(self, send: Request, recv: Request) -> None:
+        """Deliver a sync message across an unreliable control channel.
+
+        Each transmission attempt consults the fault injector; lost
+        attempts are retransmitted after a bounded exponential backoff.
+        The whole attempt schedule is resolved now (the draws are
+        deterministic in posting order) and the arrival — or
+        abandonment, once the retry budget is spent — is scheduled on
+        the engine.  Duplicate arrivals are delivered and discarded
+        idempotently, like a real sequence-numbered control protocol.
+        """
+        from repro.faults.events import SyncAbandoned, SyncRetransmit
+        from repro.faults.injector import DROP, DUPLICATE
+
+        params = self.params
+        injector = self.injector
+        key = (send.rank, send.peer, send.tag)
+        entry: Dict[str, object] = {
+            "phase": send.phase,
+            "attempts": 1,
+            "state": "in-flight",
+        }
+        self.pending_syncs[key] = entry
+
+        send_time = send.post_time
+        arrivals: List[float] = []
+        delivered = None
+        for attempt in range(params.sync_max_retries + 1):
+            if attempt > 0:
+                injector.stats.sync_retransmits += 1
+                entry["attempts"] = attempt + 1
+                if self.bus is not None:
+                    self.bus.publish(
+                        SyncRetransmit(
+                            send_time, send.rank, send.peer, send.tag,
+                            attempt, send_time - send.post_time,
+                        )
+                    )
+            fate, extra = injector.sync_fate(
+                send.rank, send.peer, send.tag, send_time, attempt
+            )
+            if fate != DROP:
+                delivered = send_time + params.sync_latency + extra
+                arrivals.append(delivered)
+                if fate == DUPLICATE:
+                    # The duplicate copy trails the original slightly.
+                    arrivals.append(delivered + params.sync_latency)
+                break
+            send_time += min(
+                params.sync_retry_timeout * (params.sync_backoff ** attempt),
+                params.sync_backoff_cap,
+            )
+
+        if delivered is None:
+            attempts = params.sync_max_retries + 1
+            entry["state"] = "abandoned"
+            entry["attempts"] = attempts
+            injector.stats.syncs_abandoned += 1
+            if self.bus is not None:
+                self.bus.publish(
+                    SyncAbandoned(
+                        send_time, send.rank, send.peer, send.tag, attempts
+                    )
+                )
+            return
+
+        def arrive() -> None:
+            if not recv.event.triggered:  # duplicates are discarded
+                self.pending_syncs.pop(key, None)
+                recv.event.trigger(recv)
+
+        for arrival in arrivals:
+            self.engine.schedule(max(0.0, arrival - self.engine.now), arrive)
 
     def _launch_buffered(self, send: Request) -> None:
         """Start a buffered send's flow right away (TCP-push behaviour)."""
@@ -219,6 +321,26 @@ class SimMPI:
 
             self.engine.schedule(delay, release)
         return event
+
+    # ------------------------------------------------------------------
+    def unmatched_sync_edges(self) -> List[Tuple[str, str, int, int, str]]:
+        """Sync operations with no counterpart yet (stall diagnosis).
+
+        Returns ``(src, dst, tag, phase, state)`` tuples: ``state`` is
+        ``"unmatched-recv"`` when the receiver is waiting but the sender
+        never posted (it is blocked upstream), ``"unmatched-send"`` for
+        the reverse.
+        """
+        out: List[Tuple[str, str, int, int, str]] = []
+        for (src, dst, tag, is_sync), reqs in self._unmatched_recvs.items():
+            if is_sync:
+                for req in reqs:
+                    out.append((src, dst, tag, req.phase, "unmatched-recv"))
+        for (src, dst, tag, is_sync), reqs in self._unmatched_sends.items():
+            if is_sync:
+                for req in reqs:
+                    out.append((src, dst, tag, req.phase, "unmatched-send"))
+        return out
 
     # ------------------------------------------------------------------
     def assert_drained(self) -> None:

@@ -67,14 +67,20 @@ class FlowNetwork:
         oracle: Optional[PathOracle] = None,
         link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
         bus: Optional[EventBus] = None,
+        injector=None,
     ) -> None:
         """*link_bandwidths* optionally overrides the uniform link speed
         per physical link; keys may name either orientation and apply to
         both directed edges (full-duplex links).  *bus* is an optional
         telemetry bus: flow starts/finishes and per-edge occupancy
-        changes are published to it (``None`` = zero overhead)."""
+        changes are published to it (``None`` = zero overhead).
+        *injector* is an optional
+        :class:`~repro.faults.injector.FaultInjector`: edge capacities
+        are scaled by its per-edge factor and rates are re-solved at
+        every fault boundary (degradation onset/clearance)."""
         self.engine = engine
         self.bus = bus
+        self.injector = injector
         self.topology = topology
         self.params = params
         self.oracle = oracle if oracle is not None else PathOracle(topology)
@@ -110,6 +116,13 @@ class FlowNetwork:
         self.max_edge_multiplexing = 0
         #: Bytes actually transported per directed edge.
         self.edge_bytes: Dict[Edge, float] = {}
+        # Fault boundaries are rate-change instants: re-solve max-min
+        # whenever a link degrades, fails or recovers so every flow's
+        # piecewise-constant rate stays exact.
+        if injector is not None:
+            for t in injector.boundaries():
+                if t > 0:
+                    self.engine.schedule(t, self._mark_dirty)
 
     # ------------------------------------------------------------------
     # public API
@@ -194,11 +207,16 @@ class FlowNetwork:
         if not self._flows:
             return
         self._allocate_max_min()
-        next_completion = min(
+        running = [
             flow.remaining / flow.rate
             for flow in self._flows.values()
             if flow.rate > 0
-        )
+        ]
+        if not running:
+            # Every flow is frozen behind a failed link; a fault
+            # boundary (recovery) or the stall watchdog wakes us.
+            return
+        next_completion = min(running)
         self._completion_generation += 1
         generation = self._completion_generation
         self.engine.schedule(
@@ -246,18 +264,23 @@ class FlowNetwork:
         # Per-edge state: unfrozen flow count and available capacity.
         unfrozen_count: Dict[Edge, int] = {}
         available: Dict[Edge, float] = {}
+        injector = self.injector
+        now = self.engine.now
         for e, fids in self._edge_flows.items():
             n = len(fids)
             if n == 0:
                 continue
             largest = max(self._flows[fid].size for fid in fids)
             unfrozen_count[e] = n
-            available[e] = params.effective_capacity(
+            capacity = params.effective_capacity(
                 n,
                 largest,
                 self._endpoint_edge[e],
                 line_bandwidth=self._edge_bandwidth.get(e),
             )
+            if injector is not None:
+                capacity *= injector.link_factor(e, now)
+            available[e] = capacity
             self.max_edge_multiplexing = max(self.max_edge_multiplexing, n)
         frozen: Set[int] = set()
         for flow in self._flows.values():

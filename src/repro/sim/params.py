@@ -110,6 +110,17 @@ class NetworkParams:
     rank_speed_overrides: tuple = ()
     #: RNG seed for all noise streams (runs are deterministic per seed).
     seed: int = 0
+    #: Resilience protocol (active only under fault injection): a sync
+    #: message unacknowledged after this long is retransmitted ...
+    sync_retry_timeout: float = us(900)
+    #: ... with the timeout multiplied by this factor per attempt
+    #: (bounded exponential backoff) ...
+    sync_backoff: float = 2.0
+    #: ... capped at this many seconds between retransmits ...
+    sync_backoff_cap: float = 0.05
+    #: ... giving up after this many retransmissions (the stall
+    #: watchdog then owns the diagnosis).
+    sync_max_retries: int = 25
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -138,6 +149,12 @@ class NetworkParams:
                 raise ValueError(
                     "rank_speed_overrides entries must be (rank, factor>0)"
                 )
+        if self.sync_retry_timeout <= 0 or self.sync_backoff_cap <= 0:
+            raise ValueError("sync retry times must be positive")
+        if self.sync_backoff < 1.0:
+            raise ValueError("sync_backoff must be >= 1")
+        if self.sync_max_retries < 0:
+            raise ValueError("sync_max_retries must be non-negative")
 
     def speed_override(self, rank: str) -> float:
         """The injected slowdown factor for *rank* (1.0 if none)."""

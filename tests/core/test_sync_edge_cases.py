@@ -1,0 +1,89 @@
+"""Sync-plan edge cases: trivial clusters and irregular tree topologies.
+
+The transitive reduction (redundant synchronization elimination, paper
+Section 5) must stay *sufficient* — every conflicting cross-phase pair
+ordered — and *minimal* — no kept sync implied by the others plus
+program order.  ``verify_sync_plan`` checks sufficiency directly;
+minimality is checked destructively by deleting each kept sync and
+asserting the coverage check then fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import schedule_aapc
+from repro.core.synchronization import SyncPlan, build_sync_plan, verify_sync_plan
+from repro.errors import SchedulingError
+from repro.topology.builder import (
+    paper_example_cluster,
+    random_tree,
+    single_switch,
+)
+
+
+def test_two_machine_cluster_needs_no_syncs():
+    """A 2-machine cluster is the one truly sync-free case: a single
+    phase, so there is no cross-phase conflict to order."""
+    schedule = schedule_aapc(single_switch(2))
+    assert schedule.num_phases == 1
+    plan = build_sync_plan(schedule)
+    assert plan.syncs == []
+    assert plan.stats.num_after_reduction == 0
+    verify_sync_plan(plan)  # vacuously sufficient
+
+
+def test_single_switch_cluster_still_synchronizes_phases():
+    """Multi-phase single-switch schedules are NOT sync-free: consecutive
+    users of each machine link must still be ordered across phases."""
+    schedule = schedule_aapc(single_switch(6))
+    assert schedule.num_phases > 1
+    plan = build_sync_plan(schedule)
+    assert plan.syncs, "phase transitions on shared machine links need syncs"
+    verify_sync_plan(plan)
+
+
+def _assert_minimal(plan: SyncPlan) -> None:
+    """Every kept sync is load-bearing: deleting it breaks coverage."""
+    for i in range(len(plan.syncs)):
+        pruned = SyncPlan(
+            schedule=plan.schedule,
+            syncs=plan.syncs[:i] + plan.syncs[i + 1:],
+            stats=plan.stats,
+        )
+        with pytest.raises(SchedulingError):
+            verify_sync_plan(pruned)
+
+
+@pytest.mark.parametrize(
+    "make_topology",
+    [
+        paper_example_cluster,  # figure 1: machines at mixed depths
+        lambda: random_tree(8, 4, seed=5),
+        lambda: random_tree(10, 5, seed=11),
+    ],
+    ids=["fig1", "random-8x4", "random-10x5"],
+)
+def test_reduction_on_irregular_topologies_is_sufficient_and_minimal(
+    make_topology,
+):
+    schedule = schedule_aapc(make_topology())
+    full = build_sync_plan(schedule, remove_redundant=False)
+    reduced = build_sync_plan(schedule)
+
+    verify_sync_plan(full)
+    verify_sync_plan(reduced)
+    assert len(reduced.syncs) <= len(full.syncs)
+    assert reduced.stats.removed_by_reduction == (
+        len(full.syncs) - len(reduced.syncs)
+    )
+    _assert_minimal(reduced)
+
+
+def test_reduction_actually_removes_syncs_on_irregular_trees():
+    """On deep irregular trees transitivity chains exist, so the
+    reduction must strictly shrink the plan (fig1: 36 -> 26)."""
+    schedule = schedule_aapc(paper_example_cluster())
+    full = build_sync_plan(schedule, remove_redundant=False)
+    reduced = build_sync_plan(schedule)
+    assert len(reduced.syncs) < len(full.syncs)

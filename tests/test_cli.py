@@ -421,3 +421,143 @@ class TestVerboseFlag:
     def test_quiet_by_default(self, capsys):
         assert main(["analyze", "fig1"]) == 0
         assert capsys.readouterr().err == ""
+
+
+@pytest.fixture
+def loss_plan_file(tmp_path):
+    from repro.faults.plan import FaultPlan, SyncFault
+
+    path = str(tmp_path / "loss.json")
+    FaultPlan(name="loss", seed=7, sync_faults=[SyncFault(loss=0.2)]).to_json(
+        path
+    )
+    return path
+
+
+class TestErrorHandling:
+    """Bad paths exit with a one-line message, status 2, no traceback."""
+
+    def test_missing_topology_file(self, capsys):
+        assert main(["simulate", "/no/such/topology.topo",
+                     "--msize", "8KB", "--no-ledger"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-aapc: error: cannot read topology")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_missing_fault_plan_file(self, capsys):
+        assert main(["simulate", "fig1", "--msize", "8KB", "--no-ledger",
+                     "--faults", "/no/such/plan.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-aapc: error: cannot read fault plan")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_corrupt_fault_plan_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        assert main(["simulate", "fig1", "--msize", "8KB", "--no-ledger",
+                     "--faults", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt fault plan" in err
+        assert "Traceback" not in err
+
+    def test_fault_plan_topology_mismatch(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, LinkFault
+
+        plan = tmp_path / "plan.json"
+        FaultPlan(
+            name="x", link_faults=[LinkFault(link=("s0", "s99"))]
+        ).to_json(str(plan))
+        assert main(["simulate", "fig1", "--msize", "8KB", "--no-ledger",
+                     "--faults", str(plan)]) == 2
+        assert "no such physical link" in capsys.readouterr().err
+
+
+class TestSimulateWithFaults:
+    def test_sync_loss_run_reports_retransmits(self, loss_plan_file, capsys):
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB", "--no-ledger",
+             "--algorithm", "generated", "--faults", loss_plan_file]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault plan 'loss'" in out
+        assert "fingerprint" in out
+        assert "retransmits" in out
+
+    def test_fault_plan_recorded_in_ledger(self, tmp_path, loss_plan_file):
+        from repro.obs.ledger import RunLedger
+
+        directory = str(tmp_path / "led")
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB", "--ledger-dir", directory,
+             "--algorithm", "generated", "--faults", loss_plan_file]
+        ) == 0
+        (record,) = RunLedger(directory).records()
+        assert record.fault_plan["name"] == "loss"
+        assert record.fault_plan["fingerprint"]
+        entry = record.algorithms["generated"]
+        assert "fault_stats" in entry.telemetry
+
+
+class TestChaosCommand:
+    def test_sweep_with_custom_plans_and_artifact(
+        self, tmp_path, loss_plan_file, capsys
+    ):
+        import json
+
+        diag = str(tmp_path / "diag.json")
+        assert main(
+            ["chaos", "fig1", "--msize", "8KB", "--no-ledger",
+             "--algorithms", "generated", "--plans", loss_plan_file,
+             "--diagnosis-out", diag]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "slowdown" in out
+        with open(diag) as fh:
+            artifact = json.load(fh)
+        (row,) = artifact["results"]
+        assert row["plan"] == "loss"
+        assert row["completed"] is True
+        assert row["fault_stats"]["syncs_dropped"] >= 0
+        assert row["slowdown"] > 0
+
+    def test_link_failure_plan_reports_fallback(self, tmp_path, capsys):
+        import json
+
+        from repro.faults.plan import FaultPlan, LinkFault
+
+        plan = str(tmp_path / "fail.json")
+        FaultPlan(
+            name="failure", seed=0,
+            link_faults=[LinkFault(link=("s0", "s1"), failed=True)],
+        ).to_json(plan)
+        diag = str(tmp_path / "diag.json")
+        assert main(
+            ["chaos", "fig1", "--msize", "8KB", "--no-ledger",
+             "--algorithms", "generated", "--plans", plan,
+             "--diagnosis-out", diag]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fell-back" in out
+        with open(diag) as fh:
+            (row,) = json.load(fh)["results"]
+        assert row["algorithm_used"] in ("mpich-ring", "mpich-pairwise")
+        assert row["decisions"], "fallback decision must be recorded"
+
+    def test_partition_plan_is_unrecoverable_exit_1(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, LinkFault
+
+        plan = str(tmp_path / "dead.json")
+        FaultPlan(
+            name="partition", seed=0,
+            link_faults=[
+                LinkFault(link=("s0", "s1"), failed=True, residual=0.0)
+            ],
+        ).to_json(plan)
+        assert main(
+            ["chaos", "fig1", "--msize", "8KB", "--no-ledger",
+             "--algorithms", "generated", "--plans", plan]
+        ) == 1
+        assert "UNRECOVERABLE" in capsys.readouterr().out
