@@ -7,9 +7,13 @@ Subcommands mirror the workflow of the paper's routine generator:
 * ``codegen``  — emit the customized MPI_Alltoall C routine.
 * ``simulate`` — run one algorithm on the simulator, report timing.
 * ``trace``    — flight-recorder run: Perfetto trace + metrics JSON.
+* ``explain``  — causal critical-path analysis: decompose the gap to
+  the paper's ``load/B`` bound into named components, with an optional
+  ``--budget`` gate and a Perfetto trace carrying the critical path.
 * ``repro``    — regenerate a paper experiment table (Figures 6-8).
 * ``report``   — query the persistent run ledger: ``list`` / ``show`` /
-  ``compare`` / ``regress`` (the CI perf gate).
+  ``compare`` / ``regress`` (the CI perf gate).  Comparisons never mix
+  runs from different fault partitions (clean vs chaos plans).
 
 ``simulate``, ``repro`` and ``campaign`` append a schema-versioned
 record to the run ledger (``~/.cache/repro-aapc/ledger/`` unless
@@ -30,6 +34,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro import __version__
 from repro.algorithms import available_algorithms, get_algorithm
 from repro.algorithms.scheduled import GeneratedAlltoall
 from repro.errors import ReproError
@@ -40,6 +45,7 @@ from repro.core.synchronization import build_sync_plan
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.metrics import peak_throughput_mbps
 from repro.harness.report import (
+    attribution_table,
     completion_table,
     render_throughput_series,
     speedup_summary,
@@ -393,6 +399,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.profiling import PipelineProfiler
 
+    from repro.obs.attribution import explain_telemetry
+
     topo = _load_topology(args.topology)
     msize = parse_size(args.msize)
     algorithm = get_algorithm(args.algorithm)
@@ -404,6 +412,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     telemetry = result.telemetry
     telemetry.pipeline = profiler.report()
+    try:
+        # Attach the causal analysis so the Perfetto trace carries the
+        # critical-path track and the metrics JSON an attribution block.
+        explain_telemetry(telemetry, topo, algorithm=algorithm.name)
+    except ReproError as exc:  # pragma: no cover - defensive
+        logger.info("causal analysis unavailable: %s", exc)
     print(f"{algorithm.describe(topo, msize)} on {args.topology}, "
           f"msize {args.msize}: flight recorder")
     print(telemetry.summary())
@@ -424,6 +438,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         telemetry.write_metrics(args.metrics_out)
         print(f"wrote metrics {args.metrics_out}")
     return 0
+
+
+def _parse_budgets(specs: Optional[List[str]]) -> Dict[str, float]:
+    """``--budget residual=0.10`` / ``residual=10%`` → {"residual": 0.1}."""
+    budgets: Dict[str, float] = {}
+    for spec in specs or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"--budget expects COMPONENT=FRACTION, got {spec!r}"
+            )
+        try:
+            budgets[name] = (
+                float(value[:-1]) / 100.0
+                if value.endswith("%")
+                else float(value)
+            )
+        except ValueError:
+            raise ReproError(
+                f"--budget {spec!r}: {value!r} is not a fraction "
+                f"(use e.g. 0.10 or 10%)"
+            ) from None
+    return budgets
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.attribution import check_budgets, explain_telemetry
+    from repro.obs.ledger import AlgorithmEntry, topology_fingerprint
+
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    params = NetworkParams(seed=args.seed)
+    if args.no_noise:
+        params = params.without_noise()
+    budgets = _parse_budgets(args.budget)
+    algorithm = get_algorithm(args.algorithm)
+    programs = algorithm.build_programs(topo, msize)
+    result = run_programs(topo, programs, msize, params, telemetry=True)
+    report = explain_telemetry(
+        result.telemetry, topo, algorithm=algorithm.name
+    )
+    print(report.summary(top=args.top))
+    if args.json_out:
+        report.write(args.json_out)
+        print(f"wrote attribution report {args.json_out}")
+    if args.trace_out:
+        result.telemetry.write_perfetto(args.trace_out)
+        print(f"wrote Perfetto trace {args.trace_out} "
+              f"(critical-path flow arrows; open at ui.perfetto.dev)")
+    # The ledger keeps the component table but not the (large) path.
+    attribution = {
+        k: v for k, v in report.as_dict().items() if k != "critical_path"
+    }
+    _append_ledger(
+        args,
+        command="explain",
+        topology_spec=args.topology,
+        fingerprint=topology_fingerprint(topo),
+        num_machines=topo.num_machines,
+        msize=msize,
+        params=params,
+        entries={
+            algorithm.name: AlgorithmEntry(
+                completion_time_ms=result.completion_time * 1e3,
+                attribution=attribution,
+            )
+        },
+    )
+    violations = check_budgets(report, budgets)
+    for violation in violations:
+        print(f"BUDGET VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def _cmd_stp(args: argparse.Namespace) -> int:
@@ -561,6 +647,7 @@ def _cmd_repro(args: argparse.Namespace) -> int:
                 "peak_concurrent_flows": p.peak_concurrent_flows,
                 "max_edge_multiplexing": p.max_edge_multiplexing,
                 "link_stats": p.link_stats.as_dict() if p.link_stats else None,
+                "attribution": p.attribution,
             }
             for p in result.points
         ]
@@ -573,6 +660,9 @@ def _cmd_repro(args: argparse.Namespace) -> int:
     print(completion_table(result, reference=experiment.reference))
     print()
     print(throughput_table(result))
+    if any(p.attribution for p in result.points):
+        print()
+        print(attribution_table(result))
     if args.plot:
         print()
         print(render_throughput_series(result))
@@ -591,6 +681,7 @@ def _cmd_repro(args: argparse.Namespace) -> int:
                 p.build_time * 1e3 if p.build_time is not None else None
             ),
             telemetry=p.link_stats.as_dict() if p.link_stats else None,
+            attribution=p.attribution,
         )
     _append_ledger(
         args,
@@ -818,12 +909,19 @@ def _cmd_report_show(args: argparse.Namespace) -> int:
 
 def _cmd_report_compare(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
-    from repro.obs.ledger import RunLedger, compare_records
+    from repro.obs.ledger import (
+        RunLedger,
+        compare_records,
+        ensure_same_fault_partition,
+    )
 
     ledger = RunLedger(args.ledger_dir)
     try:
         a = ledger.find(args.a)
-        b = ledger.find(args.b)
+        # ``latest`` resolves within the baseline's fault partition, so
+        # a chaos run landing last never sneaks into a clean comparison.
+        b = ledger.find(args.b, fault_fingerprint=a.fault_fingerprint)
+        ensure_same_fault_partition(a, b)
     except ReproError as exc:
         print(f"report: {exc}", file=sys.stderr)
         return 2
@@ -855,6 +953,7 @@ def _cmd_report_regress(args: argparse.Namespace) -> int:
     from repro.obs.ledger import (
         RunLedger,
         compare_records,
+        ensure_same_fault_partition,
         load_baseline,
         parse_threshold,
     )
@@ -863,7 +962,10 @@ def _cmd_report_regress(args: argparse.Namespace) -> int:
     try:
         threshold = parse_threshold(args.threshold)
         baseline = load_baseline(args.baseline, ledger)
-        current = ledger.find(args.run)
+        current = ledger.find(
+            args.run, fault_fingerprint=baseline.fault_fingerprint
+        )
+        ensure_same_fault_partition(baseline, current)
     except ReproError as exc:
         print(f"report regress: {exc}", file=sys.stderr)
         return 2
@@ -908,6 +1010,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-aapc",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -992,6 +1098,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phases", action="store_true",
                    help="also print per-phase health rows")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "explain", parents=[common, ledger_opts],
+        help="critical-path analysis: attribute the gap to the "
+             "load/B optimum to named components",
+    )
+    p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
+    p.add_argument("--algorithm", default="generated",
+                   choices=available_algorithms())
+    p.add_argument("--msize", default="64KB", help="per-pair message size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-noise", action="store_true",
+                   help="disable stochastic latency noise (exact attribution)")
+    p.add_argument("--top", type=int, default=8,
+                   help="critical-path segments to print (default 8)")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="write the schema-versioned attribution report JSON")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Perfetto trace with the critical-path "
+                        "track and flow arrows")
+    p.add_argument("--budget", action="append", default=None,
+                   metavar="COMPONENT=FRACTION",
+                   help="exit non-zero when a component exceeds this "
+                        "fraction of the optimum, e.g. residual=0.10 or "
+                        "sync_wait=15%% (repeatable)")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "stp", parents=[common],

@@ -78,6 +78,39 @@ def render_throughput_series(
     return "\n".join(lines)
 
 
+def attribution_table(result: ExperimentResult) -> str:
+    """Which gap component dominates, per algorithm and message size.
+
+    Renders the :mod:`repro.obs.attribution` blocks collected by the
+    instrumented repetition of each cell: the dominant component and
+    the gap to the ``load/B`` optimum.  The crossover the paper's story
+    predicts is visible at a glance — at small sizes startup/sync costs
+    dominate every algorithm, at large sizes the naive algorithms flip
+    to ``contention`` while the scheduled one stays contention-free.
+    Cells without attribution (telemetry off) render as ``--``.
+    """
+    algorithms = result.algorithms()
+    sizes = result.sizes()
+    width = max(22, *(len(a) + 2 for a in algorithms))
+    header = ["msize".rjust(8)] + [a.rjust(width) for a in algorithms]
+    lines = ["dominant gap component (gap as % of load/B optimum):",
+             " ".join(header)]
+    for msize in sizes:
+        row = [format_size(msize).rjust(8)]
+        for a in algorithms:
+            point = result.cell(a, msize)
+            attr = point.attribution
+            if not attr:
+                row.append("--".rjust(width))
+                continue
+            opt = attr.get("theoretical_optimum_ms") or 0.0
+            gap = attr.get("gap_ms", 0.0)
+            pct = f" {gap / opt * 100:4.0f}%" if opt else ""
+            row.append(f"{point.dominant_component}{pct}".rjust(width))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
 def speedup_summary(
     result: ExperimentResult, ours: str = "generated"
 ) -> str:

@@ -48,6 +48,16 @@ class MeasurementPoint:
     #: offline scheduling pipeline cost (root finding, phase
     #: partitioning, sync planning, program emission).
     build_time: Optional[float] = None
+    #: Optimality-gap attribution of the instrumented repetition
+    #: (:mod:`repro.obs.attribution` report dict, without the path);
+    #: tells which component dominates the gap at this cell's size.
+    attribution: Optional[Dict[str, object]] = None
+
+    @property
+    def dominant_component(self) -> Optional[str]:
+        if self.attribution is None:
+            return None
+        return self.attribution.get("dominant_component")  # type: ignore[return-value]
 
 
 @dataclass
@@ -123,6 +133,7 @@ def run_experiment(
             peak_flows = 0
             max_mux = 0
             link_stats: Optional[LinkSummary] = None
+            attribution: Optional[Dict[str, object]] = None
             for i, seed in enumerate(workload.seeds()):
                 run = run_programs(
                     topology,
@@ -139,6 +150,9 @@ def run_experiment(
                 max_mux = max(max_mux, run.max_edge_multiplexing)
                 if run.telemetry is not None:
                     link_stats = summarize_links(run.telemetry)
+                    attribution = _attribute(
+                        run.telemetry, topology, algorithm.name
+                    )
             mean, lo, hi = completion_stats(samples)
             result.points.append(
                 MeasurementPoint(
@@ -156,6 +170,25 @@ def run_experiment(
                     max_edge_multiplexing=max_mux,
                     link_stats=link_stats,
                     build_time=build_time,
+                    attribution=attribution,
                 )
             )
     return result
+
+
+def _attribute(telemetry, topology, algorithm) -> Optional[Dict[str, object]]:
+    """Gap attribution for one instrumented run, sans the path (compact).
+
+    Best-effort: a telemetry bundle that cannot be analyzed (dropped
+    trace records, missing run context from an older caller) yields
+    ``None`` rather than failing the whole grid.
+    """
+    from repro.obs.attribution import explain_telemetry
+
+    try:
+        report = explain_telemetry(telemetry, topology, algorithm=algorithm)
+    except ReproError:
+        return None
+    return {
+        k: v for k, v in report.as_dict().items() if k != "critical_path"
+    }

@@ -26,6 +26,11 @@ makes the offline pipeline that produces it measurable:
   dependence graph, transitive reduction).
 * :mod:`repro.obs.ledger` — persistent append-only run ledger
   (JSONL) plus the ``report regress`` comparison machinery.
+* :mod:`repro.obs.causal` — happens-before DAG reconstruction from the
+  recorded events, critical-path extraction and per-flow/per-sync slack.
+* :mod:`repro.obs.attribution` — decomposition of the gap between the
+  measured completion and the paper's ``load/B`` bound into named
+  components (``repro-aapc explain``).
 
 Run with ``run_programs(..., telemetry=True)`` or from the CLI:
 ``repro-aapc trace <topology>``; inspect history with
@@ -70,6 +75,16 @@ _EXPORTS = {
     "default_ledger_dir": "repro.obs.ledger",
     "find_regressions": "repro.obs.ledger",
     "compare_records": "repro.obs.ledger",
+    "ensure_same_fault_partition": "repro.obs.ledger",
+    "CausalAnalysis": "repro.obs.causal",
+    "PathSegment": "repro.obs.causal",
+    "analyze": "repro.obs.causal",
+    "AttributionReport": "repro.obs.attribution",
+    "attribute_gap": "repro.obs.attribution",
+    "explain_telemetry": "repro.obs.attribution",
+    "check_budgets": "repro.obs.attribution",
+    "load_attribution": "repro.obs.attribution",
+    "loads_attribution": "repro.obs.attribution",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -94,6 +109,15 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.obs.attribution import (
+        AttributionReport,
+        attribute_gap,
+        check_budgets,
+        explain_telemetry,
+        load_attribution,
+        loads_attribution,
+    )
+    from repro.obs.causal import CausalAnalysis, PathSegment, analyze
     from repro.obs.bus import (
         EventBus,
         FlowFinished,
@@ -112,6 +136,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         RunRecord,
         compare_records,
         default_ledger_dir,
+        ensure_same_fault_partition,
         find_regressions,
         topology_fingerprint,
     )

@@ -43,6 +43,11 @@ class FlowStarted:
     nbytes: float
     #: The directed edges of the flow's (unique) tree path.
     path: Tuple[Edge, ...]
+    #: MPI tag of the message this flow carries (-1 when unknown) —
+    #: lets offline analysis re-associate flows with trace records.
+    tag: int = -1
+    #: Schedule phase of the carrying message (-1 when unknown).
+    phase: int = -1
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,8 @@ class FlowFinished:
     dst: str
     nbytes: float
     start_time: float
+    tag: int = -1
+    phase: int = -1
 
     @property
     def duration(self) -> float:

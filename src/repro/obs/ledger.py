@@ -99,6 +99,8 @@ class AlgorithmEntry:
     telemetry: Optional[Dict[str, object]] = None
     #: Pipeline profiler spans (``PipelineProfile.as_dicts()`` form).
     pipeline: Optional[List[Dict[str, object]]] = None
+    #: Optimality-gap attribution (``AttributionReport.as_dict()``).
+    attribution: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -112,6 +114,8 @@ class AlgorithmEntry:
             data["telemetry"] = self.telemetry
         if self.pipeline is not None:
             data["pipeline"] = self.pipeline
+        if self.attribution is not None:
+            data["attribution"] = self.attribution
         return data
 
     @classmethod
@@ -122,6 +126,7 @@ class AlgorithmEntry:
             scheduler_runtime_ms=data.get("scheduler_runtime_ms"),
             telemetry=data.get("telemetry"),
             pipeline=data.get("pipeline"),
+            attribution=data.get("attribution"),
         )
 
 
@@ -172,6 +177,19 @@ class RunRecord:
             algorithms=algorithms,
             git_sha=current_git_sha(),
             fault_plan=fault_plan,
+        )
+
+    @property
+    def fault_fingerprint(self) -> Optional[str]:
+        """The fault plan's fingerprint, or ``None`` for a clean run.
+
+        Partition key for comparisons: a chaos run must never be
+        gated against a clean baseline (or against a different plan).
+        """
+        if not self.fault_plan:
+            return None
+        return self.fault_plan.get("fingerprint") or self.fault_plan.get(
+            "name"
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -235,6 +253,10 @@ class RunRecord:
 # ----------------------------------------------------------------------
 # the ledger store
 # ----------------------------------------------------------------------
+#: Sentinel for :meth:`RunLedger.find`: no fault-partition filtering.
+_ANY_FAULT = object()
+
+
 class RunLedger:
     """Append/read interface over one ledger directory."""
 
@@ -312,11 +334,28 @@ class RunLedger:
             out.append(RunRecord.from_dict(data))
         return out
 
-    def find(self, ref: str) -> RunRecord:
-        """Resolve *ref*: ``latest``, a run id, or a unique id prefix."""
+    def find(self, ref: str, fault_fingerprint=_ANY_FAULT) -> RunRecord:
+        """Resolve *ref*: ``latest``, a run id, or a unique id prefix.
+
+        When *fault_fingerprint* is given (``None`` = clean runs only,
+        a string = that fault plan), ``latest`` resolves within that
+        partition, so e.g. ``report regress`` against a clean baseline
+        never silently picks up a chaos run that happened to land last.
+        """
         records = self.records()
         if not records:
             raise ReproError(f"ledger {self.path} is empty")
+        if fault_fingerprint is not _ANY_FAULT and ref == "latest":
+            records = [
+                r for r in records
+                if r.fault_fingerprint == fault_fingerprint
+            ]
+            if not records:
+                label = fault_fingerprint or "clean (no fault plan)"
+                raise ReproError(
+                    f"ledger {self.path} has no runs in fault partition "
+                    f"{label!r}"
+                )
         if ref == "latest":
             return records[-1]
         matches = [r for r in records if r.run_id.startswith(ref)]
@@ -410,6 +449,33 @@ class MetricDelta:
 
 
 _GATED_METRICS = ("completion_time_ms", "scheduler_runtime_ms")
+
+
+def ensure_same_fault_partition(
+    baseline: RunRecord, current: RunRecord
+) -> None:
+    """Refuse to compare runs from different fault partitions.
+
+    A run under chaos injection is expected to be slower; gating it
+    against a clean baseline (or vice versa, or against a different
+    fault plan) produces meaningless regressions.  Raises
+    :class:`ReproError` when the fingerprints differ.
+    """
+
+    def label(r: RunRecord) -> str:
+        fp = r.fault_fingerprint
+        if fp is None:
+            return "clean (no fault plan)"
+        name = (r.fault_plan or {}).get("name", "")
+        return f"fault plan {name!r} ({fp})" if name else f"fault plan {fp}"
+
+    if baseline.fault_fingerprint != current.fault_fingerprint:
+        raise ReproError(
+            f"refusing to compare runs from different fault partitions: "
+            f"baseline {baseline.run_id} is {label(baseline)}, "
+            f"current {current.run_id} is {label(current)}; "
+            f"compare runs under the same fault plan (or both clean)"
+        )
 
 
 def compare_records(

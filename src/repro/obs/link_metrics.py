@@ -44,6 +44,11 @@ class FlowRecord:
     start: float
     end: float
     num_links: int
+    #: MPI tag / schedule phase of the carried message (-1 = unknown).
+    tag: int = -1
+    phase: int = -1
+    #: Directed edges of the flow's path (empty when unobserved).
+    path: Tuple[Edge, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -156,7 +161,7 @@ class LinkMetricsCollector:
 
     def _on_flow_finished(self, ev: FlowFinished) -> None:
         started = self._open.pop(ev.fid, None)
-        num_links = len(started.path) if started is not None else 0
+        path = started.path if started is not None else ()
         self.flows.append(
             FlowRecord(
                 fid=ev.fid,
@@ -165,7 +170,10 @@ class LinkMetricsCollector:
                 nbytes=ev.nbytes,
                 start=ev.start_time,
                 end=ev.time,
-                num_links=num_links,
+                num_links=len(path),
+                tag=ev.tag,
+                phase=ev.phase,
+                path=path,
             )
         )
 

@@ -25,6 +25,13 @@ Produces the classic Trace Event Format (loadable by both
   duration slice per declared fault window (open-ended windows are
   clipped to the completion time) plus an instant per sync disruption /
   retransmit / abandonment, so chaos lines up with rank stalls.
+* **critical path** (pid 7) — when a causal analysis is attached to the
+  telemetry (``repro-aapc explain`` / ``explain_telemetry``): one lane
+  per rank plus a *wire* lane, each critical-path segment a slice named
+  by its dominant component, with **flow arrows** stitching the path
+  together wherever it hops between ranks or onto the wire.  Following
+  the arrows end to end reads off exactly where the completion time
+  went.
 
 Timestamps are microseconds (the format's native unit).
 """
@@ -45,6 +52,7 @@ _PID_FLOWS = 3
 _PID_PHASES = 4
 _PID_PIPELINE = 5
 _PID_FAULTS = 6
+_PID_CRITICAL = 7
 
 
 def _us(t: float) -> float:
@@ -219,6 +227,75 @@ def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
                     "args": args,
                 }
             )
+
+    # --- critical-path track + flow arrows ---------------------------
+    if telemetry.causal is not None and telemetry.causal.segments:
+        events.extend(_critical_path_events(telemetry.causal, rank_tid))
+    return events
+
+
+def _critical_path_events(causal, rank_tid: Dict[str, int]) -> List[dict]:
+    """Critical-path lanes (pid 7) and the arrows that stitch them.
+
+    Lane 0 is the *wire* (transfer segments); each rank gets its own
+    lane.  Consecutive segments always share an endpoint in time, so a
+    lane change is a causal hop — rendered as a ``ph:"s"``/``ph:"f"``
+    flow arrow from the middle of the previous slice to the middle of
+    the next (mid-slice anchors bind reliably in both chrome://tracing
+    and ui.perfetto.dev).
+    """
+    events: List[dict] = [
+        _meta(_PID_CRITICAL, "critical path"),
+        _meta(_PID_CRITICAL, "wire", 0, thread=True),
+    ]
+    for rank, tid in rank_tid.items():
+        events.append(_meta(_PID_CRITICAL, rank, tid + 1, thread=True))
+
+    def lane(seg) -> int:
+        if seg.kind == "transfer":
+            return 0
+        rank = seg.dst_rank or seg.src_rank
+        return rank_tid.get(rank, -1) + 1
+
+    prev = None  # (lane, midpoint_us)
+    arrow = 0
+    for seg in causal.segments:
+        tid = lane(seg)
+        mid = _us((seg.start + seg.end) / 2.0)
+        events.append(
+            {
+                "name": f"{seg.component}: {seg.label}",
+                "cat": "critical_path",
+                "ph": "X",
+                "ts": _us(seg.start),
+                "dur": _us(seg.duration),
+                "pid": _PID_CRITICAL,
+                "tid": tid,
+                "args": {
+                    "kind": seg.kind,
+                    "phase": seg.phase,
+                    "component": seg.component,
+                    "components_ms": {
+                        k: v * 1e3 for k, v in seg.components.items()
+                    },
+                },
+            }
+        )
+        if prev is not None and prev[0] != tid:
+            arrow += 1
+            common = {
+                "cat": "critical_path",
+                "name": "critical path",
+                "id": arrow,
+                "pid": _PID_CRITICAL,
+            }
+            events.append(
+                {**common, "ph": "s", "tid": prev[0], "ts": prev[1]}
+            )
+            events.append(
+                {**common, "ph": "f", "bp": "e", "tid": tid, "ts": mid}
+            )
+        prev = (tid, mid)
     return events
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import io
 import json
 from dataclasses import dataclass, field
-from typing import IO, Dict, List, Optional, Tuple, Union
+from typing import IO, TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro._version import __version__
 from repro.errors import ReproError
@@ -26,6 +26,10 @@ from repro.obs.diagnostics import ScheduleHealth
 from repro.obs.link_metrics import LinkMetricsReport
 from repro.obs.profiling import PipelineProfile
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.causal import CausalAnalysis
+    from repro.sim.params import NetworkParams
 
 #: Version of the ``--metrics-out`` report schema.  Bump on
 #: incompatible change; :func:`load_metrics` rejects reports from the
@@ -77,6 +81,18 @@ class RunTelemetry:
     sync_disruptions: Tuple[object, ...] = ()
     #: Injector counters (``FaultStats.as_dict()``), when faults ran.
     fault_stats: Optional[Dict[str, int]] = None
+    #: Run context for the offline causal analyzer (attached by the
+    #: executor): per-block message size, the run's NetworkParams and
+    #: any per-physical-link bandwidth overrides.
+    msize: Optional[int] = None
+    params: Optional["NetworkParams"] = None
+    link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None
+    #: Optimality-gap attribution (``AttributionReport.as_dict()``),
+    #: attached by :func:`repro.obs.attribution.explain_telemetry`.
+    attribution: Optional[Dict[str, object]] = None
+    #: The causal analysis behind the attribution — the Perfetto
+    #: exporter renders its critical path as a track plus flow arrows.
+    causal: Optional["CausalAnalysis"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -116,6 +132,8 @@ class RunTelemetry:
         }
         if self.pipeline is not None:
             data["pipeline"] = self.pipeline.as_dicts()
+        if self.attribution is not None:
+            data["attribution"] = dict(self.attribution)
         if self.fault_stats is not None:
             data["faults"] = {
                 "windows": [

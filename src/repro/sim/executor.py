@@ -488,6 +488,11 @@ def run_programs(
             fault_stats=(
                 injector.stats.as_dict() if injector is not None else None
             ),
+            msize=msize,
+            params=params,
+            link_bandwidths=(
+                dict(link_bandwidths) if link_bandwidths else None
+            ),
         )
 
     return RunResult(

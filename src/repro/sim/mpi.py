@@ -275,7 +275,8 @@ class SimMPI:
 
         def launch() -> None:
             self.network.start_flow(
-                send.rank, send.peer, float(send.nbytes), on_flow_done
+                send.rank, send.peer, float(send.nbytes), on_flow_done,
+                tag=send.tag, phase=send.phase,
             )
 
         self.engine.schedule(self.params.eager_latency, launch)
@@ -290,7 +291,8 @@ class SimMPI:
 
         def launch() -> None:
             self.network.start_flow(
-                send.rank, send.peer, float(send.nbytes), on_flow_done
+                send.rank, send.peer, float(send.nbytes), on_flow_done,
+                tag=send.tag, phase=send.phase,
             )
 
         self.engine.schedule(self.params.rendezvous_latency, launch)

@@ -32,7 +32,7 @@ _EPSILON_BYTES = 1e-6
 class Flow:
     """One fluid transfer over a fixed directed path."""
 
-    __slots__ = ("fid", "src", "dst", "edges", "size", "remaining", "rate", "on_complete", "start_time", "end_time")
+    __slots__ = ("fid", "src", "dst", "edges", "size", "remaining", "rate", "on_complete", "start_time", "end_time", "tag", "phase")
 
     def __init__(
         self,
@@ -43,6 +43,8 @@ class Flow:
         nbytes: float,
         on_complete: Callable[["Flow"], None],
         start_time: float,
+        tag: int = -1,
+        phase: int = -1,
     ) -> None:
         self.fid = fid
         self.src = src
@@ -54,6 +56,8 @@ class Flow:
         self.on_complete = on_complete
         self.start_time = start_time
         self.end_time: Optional[float] = None
+        self.tag = tag
+        self.phase = phase
 
 
 class FlowNetwork:
@@ -133,10 +137,14 @@ class FlowNetwork:
         dst: str,
         nbytes: float,
         on_complete: Callable[[Flow], None],
+        *,
+        tag: int = -1,
+        phase: int = -1,
     ) -> Flow:
         """Inject a transfer of *nbytes* from *src* to *dst*.
 
         *on_complete* fires (via the engine) when the last byte arrives.
+        *tag*/*phase* identify the carrying message for telemetry.
         """
         if nbytes <= 0:
             raise SimulationError(f"flow size must be positive, got {nbytes}")
@@ -145,7 +153,8 @@ class FlowNetwork:
         if not edges:
             raise SimulationError(f"no path from {src!r} to {dst!r}")
         flow = Flow(
-            self._next_fid, src, dst, edges, nbytes, on_complete, self.engine.now
+            self._next_fid, src, dst, edges, nbytes, on_complete,
+            self.engine.now, tag, phase,
         )
         self._next_fid += 1
         self._flows[flow.fid] = flow
@@ -158,7 +167,10 @@ class FlowNetwork:
         if self.bus is not None:
             now = self.engine.now
             self.bus.publish(
-                FlowStarted(now, flow.fid, src, dst, flow.size, edges)
+                FlowStarted(
+                    now, flow.fid, src, dst, flow.size, edges,
+                    flow.tag, flow.phase,
+                )
             )
             for e in edges:
                 self.bus.publish(
@@ -249,7 +261,7 @@ class FlowNetwork:
                 self.bus.publish(
                     FlowFinished(
                         now, flow.fid, flow.src, flow.dst, flow.size,
-                        flow.start_time,
+                        flow.start_time, flow.tag, flow.phase,
                     )
                 )
                 for e in flow.edges:

@@ -128,3 +128,53 @@ class TestReport:
     def test_speedup_summary(self, small_result):
         text = speedup_summary(small_result)
         assert "vs lam" in text and "%" in text
+
+
+class TestAttributionSweep:
+    """Instrumented sweeps report which gap component dominates per size."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        from repro.topology.builder import chain_of_switches
+
+        return run_experiment(
+            "unit-attr",
+            chain_of_switches([2, 2]),
+            [LamAlltoall(), GeneratedAlltoall()],
+            message_size_sweep([kib(4), kib(64)], repetitions=1),
+            telemetry=True,
+        )
+
+    def test_every_cell_carries_attribution(self, instrumented):
+        from repro.obs.attribution import GAP_COMPONENTS
+
+        for point in instrumented.points:
+            assert point.attribution is not None
+            assert point.dominant_component in GAP_COMPONENTS
+            assert "critical_path" not in point.attribution
+
+    def test_naive_flips_to_contention_at_large_sizes(self, instrumented):
+        assert (
+            instrumented.cell("lam", kib(64)).dominant_component
+            == "contention"
+        )
+        assert (
+            instrumented.cell("generated", kib(64)).dominant_component
+            != "contention"
+        )
+
+    def test_attribution_table_renders_per_size(self, instrumented):
+        from repro.harness.report import attribution_table
+
+        text = attribution_table(instrumented)
+        assert "dominant gap component" in text
+        assert "4KB" in text and "64KB" in text
+        assert "contention" in text
+
+    def test_uninstrumented_cells_render_as_dashes(self, small_result):
+        from repro.harness.report import attribution_table
+
+        text = attribution_table(small_result)
+        assert "--" in text
+        assert small_result.points[0].attribution is None
+        assert small_result.points[0].dominant_component is None

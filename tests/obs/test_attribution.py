@@ -1,0 +1,177 @@
+"""Optimality-gap attribution: identity, acceptance stories, envelope."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro._version import __version__
+from repro.algorithms import get_algorithm
+from repro.errors import ReproError
+from repro.obs.attribution import (
+    ATTRIBUTION_SCHEMA_VERSION,
+    GAP_COMPONENTS,
+    check_budgets,
+    explain_telemetry,
+    load_attribution,
+    loads_attribution,
+)
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import (
+    paper_example_cluster,
+    single_switch,
+    star_of_switches,
+)
+from repro.topology.serialization import load_topology
+from repro.units import kib
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "examples"
+)
+
+
+def explain(topo, algorithm="scheduled", msize=kib(64), seed=0, noise=False):
+    params = NetworkParams(seed=seed)
+    if not noise:
+        params = params.without_noise()
+    programs = get_algorithm(algorithm).build_programs(topo, msize)
+    result = run_programs(topo, programs, msize, params, telemetry=True)
+    return explain_telemetry(result.telemetry, topo, algorithm=algorithm)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize(
+        "make_topo",
+        [lambda: single_switch(6), lambda: star_of_switches([0, 3, 3]),
+         paper_example_cluster],
+        ids=["single-switch", "star", "fig1"],
+    )
+    @pytest.mark.parametrize("algorithm", ["scheduled", "lam"])
+    @pytest.mark.parametrize("noise", [False, True])
+    def test_components_sum_exactly_to_gap(self, make_topo, algorithm, noise):
+        report = explain(make_topo(), algorithm=algorithm, noise=noise)
+        assert sum(report.components.values()) == pytest.approx(
+            report.gap, abs=1e-9
+        )
+        assert set(report.components) == set(GAP_COMPONENTS)
+
+    def test_gap_is_measured_minus_optimum(self):
+        report = explain(paper_example_cluster())
+        assert report.gap == pytest.approx(
+            report.measured_completion - report.theoretical_optimum
+        )
+        assert report.achievable_optimum > report.theoretical_optimum
+
+
+class TestAcceptanceStories:
+    """The two-switch example behaves exactly as the paper predicts."""
+
+    @pytest.fixture(scope="class")
+    def two_switch(self):
+        return load_topology(os.path.join(EXAMPLES, "two-switch.topo"))
+
+    def test_scheduled_has_no_contention_and_no_residual(self, two_switch):
+        report = explain(two_switch, algorithm="scheduled")
+        assert report.components["contention"] == pytest.approx(0.0, abs=1e-6)
+        assert report.components["residual"] == pytest.approx(0.0, abs=1e-6)
+        # The whole gap is protocol efficiency + startup + sync wait.
+        explained = (
+            report.components["protocol_efficiency"]
+            + report.components["startup"]
+            + report.components["sync_wait"]
+        )
+        assert explained == pytest.approx(report.gap, abs=1e-6)
+
+    def test_naive_is_contention_dominated(self, two_switch):
+        report = explain(two_switch, algorithm="lam")
+        assert report.dominant_component == "contention"
+        assert report.components["contention"] > report.components["sync_wait"]
+
+    def test_three_switch_residual_within_ci_budget(self):
+        topo = load_topology(os.path.join(EXAMPLES, "three-switch.topo"))
+        report = explain(topo, algorithm="scheduled")
+        assert not check_budgets(report, {"residual": 0.10})
+
+
+class TestBudgets:
+    def test_violation_reported(self):
+        report = explain(paper_example_cluster(), algorithm="lam")
+        violations = check_budgets(report, {"contention": 0.01})
+        assert len(violations) == 1
+        assert "contention" in violations[0]
+
+    def test_within_budget_is_silent(self):
+        report = explain(paper_example_cluster())
+        assert check_budgets(report, {"contention": 0.01}) == []
+
+    def test_unknown_component_raises(self):
+        report = explain(single_switch(4), msize=kib(4))
+        with pytest.raises(ReproError, match="unknown attribution component"):
+            check_budgets(report, {"latency": 0.5})
+
+
+class TestEnvelope:
+    def test_as_dict_carries_schema_and_version(self):
+        report = explain(single_switch(4), msize=kib(4))
+        data = report.as_dict()
+        assert data["schema"] == ATTRIBUTION_SCHEMA_VERSION
+        assert data["repro_version"] == __version__
+        assert data["dominant_component"] in GAP_COMPONENTS
+        assert set(data["components_ms"]) == set(GAP_COMPONENTS)
+
+    def test_write_load_round_trip(self, tmp_path):
+        report = explain(single_switch(4), msize=kib(4))
+        path = str(tmp_path / "attr.json")
+        report.write(path)
+        data = load_attribution(path)
+        assert data["measured_completion_ms"] == pytest.approx(
+            report.measured_completion * 1e3
+        )
+
+    def test_future_schema_rejected(self):
+        text = json.dumps(
+            {"schema": ATTRIBUTION_SCHEMA_VERSION + 1, "components_ms": {}}
+        )
+        with pytest.raises(ReproError, match="upgrade repro"):
+            loads_attribution(text)
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(ReproError, match="corrupt"):
+            loads_attribution("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            loads_attribution("[1, 2]")
+
+    def test_invalid_schema_rejected(self):
+        with pytest.raises(ReproError, match="invalid schema"):
+            loads_attribution('{"schema": "two"}')
+
+
+class TestTelemetryIntegration:
+    def test_explain_attaches_causal_and_attribution(self):
+        topo = paper_example_cluster()
+        programs = get_algorithm("scheduled").build_programs(topo, kib(32))
+        result = run_programs(
+            topo, programs, kib(32), NetworkParams(), telemetry=True
+        )
+        report = explain_telemetry(result.telemetry, topo, algorithm="x")
+        assert result.telemetry.causal is report.causal
+        assert result.telemetry.attribution["schema"] == (
+            ATTRIBUTION_SCHEMA_VERSION
+        )
+        metrics = result.telemetry.metrics_dict()
+        assert metrics["attribution"]["dominant_component"] in GAP_COMPONENTS
+
+    def test_requires_run_context(self):
+        topo = paper_example_cluster()
+        programs = get_algorithm("scheduled").build_programs(topo, kib(32))
+        result = run_programs(
+            topo, programs, kib(32), NetworkParams(), telemetry=True
+        )
+        result.telemetry.msize = None
+        with pytest.raises(ReproError, match="run context"):
+            explain_telemetry(result.telemetry, topo)

@@ -1,0 +1,148 @@
+"""Causal-invariant tests for the happens-before analyzer.
+
+The critical path is only trustworthy if it obeys hard invariants on
+*every* run: it can never exceed the measured completion, it telescopes
+contiguously from first send to last receive, slack is non-negative,
+and on a contention-free single-switch run with noise disabled it
+equals the completion time exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import ReproError
+from repro.obs.causal import PATH_COMPONENTS, analyze
+from repro.sim.executor import run_programs
+from repro.sim.params import NetworkParams
+from repro.topology.builder import (
+    chain_of_switches,
+    paper_example_cluster,
+    single_switch,
+    star_of_switches,
+)
+from repro.units import kib
+
+TOPOLOGIES = {
+    "single-switch": lambda: single_switch(6),
+    "star": lambda: star_of_switches([0, 3, 3]),
+    "fig1": paper_example_cluster,
+}
+
+
+def run_and_analyze(topo, algorithm="scheduled", msize=kib(32), seed=0,
+                    noise=True):
+    params = NetworkParams(seed=seed)
+    if not noise:
+        params = params.without_noise()
+    programs = get_algorithm(algorithm).build_programs(topo, msize)
+    result = run_programs(topo, programs, msize, params, telemetry=True)
+    return result, analyze(result.telemetry)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("algorithm", ["scheduled", "lam"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_path_never_exceeds_completion(self, topo_name, algorithm, seed):
+        topo = TOPOLOGIES[topo_name]()
+        result, analysis = run_and_analyze(
+            topo, algorithm=algorithm, seed=seed
+        )
+        assert analysis.critical_path_length() <= (
+            result.completion_time + 1e-9
+        )
+
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    def test_path_telescopes_contiguously(self, topo_name):
+        _, analysis = run_and_analyze(TOPOLOGIES[topo_name]())
+        assert analysis.segments
+        for prev, cur in zip(analysis.segments, analysis.segments[1:]):
+            assert cur.start == pytest.approx(prev.end, abs=1e-9)
+        last = analysis.segments[-1]
+        assert last.end == pytest.approx(analysis.completion_time, abs=1e-9)
+
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    def test_segment_components_sum_to_duration(self, topo_name):
+        _, analysis = run_and_analyze(TOPOLOGIES[topo_name]())
+        for seg in analysis.segments:
+            assert set(seg.components) <= set(PATH_COMPONENTS)
+            assert sum(seg.components.values()) == pytest.approx(
+                seg.duration, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_slack_is_non_negative(self, topo_name, seed):
+        _, analysis = run_and_analyze(TOPOLOGIES[topo_name](), seed=seed)
+        for slack in analysis.flow_slack.values():
+            assert slack >= -1e-9
+        for slack in analysis.sync_slack.values():
+            assert slack >= -1e-9
+
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    def test_no_anomalies_on_clean_runs(self, topo_name):
+        _, analysis = run_and_analyze(TOPOLOGIES[topo_name]())
+        assert analysis.anomalies == 0
+
+
+class TestExactness:
+    def test_equals_completion_without_noise_single_switch(self):
+        """Contention-free, deterministic run: the path IS the run."""
+        result, analysis = run_and_analyze(
+            single_switch(6), msize=kib(64), noise=False
+        )
+        assert analysis.critical_path_length() == pytest.approx(
+            result.completion_time, rel=1e-12
+        )
+
+    def test_equals_completion_with_noise_fig1(self):
+        """The telescoped path still covers the full horizon with noise."""
+        result, analysis = run_and_analyze(paper_example_cluster())
+        assert analysis.critical_path_length() == pytest.approx(
+            result.completion_time, rel=1e-9
+        )
+
+    def test_scheduled_run_has_zero_contention_component(self):
+        _, analysis = run_and_analyze(
+            paper_example_cluster(), msize=kib(64), noise=False
+        )
+        assert analysis.component_totals.get(
+            "contention", 0.0
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_naive_chain_run_shows_contention(self):
+        topo = chain_of_switches([2, 2, 2])
+        _, analysis = run_and_analyze(
+            topo, algorithm="lam", msize=kib(64), noise=False
+        )
+        assert analysis.component_totals.get("contention", 0.0) > 0
+
+
+class TestErrors:
+    def test_requires_trace(self):
+        topo = single_switch(4)
+        programs = get_algorithm("scheduled").build_programs(topo, kib(4))
+        result = run_programs(topo, programs, kib(4), NetworkParams())
+        assert result.telemetry is None
+        with pytest.raises(AttributeError):
+            analyze(result.telemetry)
+
+    def test_rejects_disabled_trace(self):
+        topo = single_switch(4)
+        programs = get_algorithm("scheduled").build_programs(topo, kib(4))
+        result = run_programs(
+            topo, programs, kib(4), NetworkParams(), telemetry=True
+        )
+        result.telemetry.trace.records.clear()
+        with pytest.raises(ReproError):
+            analyze(result.telemetry)
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        _, analysis = run_and_analyze(single_switch(4))
+        data = json.loads(json.dumps(analysis.as_dict()))
+        assert data["num_segments"] == len(analysis.segments)
+        assert data["anomalies"] == 0

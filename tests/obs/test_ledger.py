@@ -328,3 +328,125 @@ class TestRegressCli:
             ]
         )
         assert rc == 2
+
+
+class TestFaultPartitions:
+    """compare/regress never mix clean runs with chaos runs."""
+
+    @staticmethod
+    def _record(ms: float, fault_plan=None) -> RunRecord:
+        return RunRecord.new(
+            "simulate",
+            topology_spec="fig1",
+            topology_fingerprint="abc123",
+            num_machines=6,
+            msize=65536,
+            params={"seed": 0},
+            algorithms={"lam": AlgorithmEntry(completion_time_ms=ms)},
+            fault_plan=fault_plan,
+        )
+
+    def test_fault_fingerprint_property(self):
+        clean = self._record(1.0)
+        chaos = self._record(
+            2.0, fault_plan={"name": "loss", "fingerprint": "f00d"}
+        )
+        assert clean.fault_fingerprint is None
+        assert chaos.fault_fingerprint == "f00d"
+
+    def test_ensure_same_partition_rejects_mixed(self):
+        from repro.obs.ledger import ensure_same_fault_partition
+
+        clean = self._record(1.0)
+        chaos = self._record(
+            2.0, fault_plan={"name": "loss", "fingerprint": "f00d"}
+        )
+        with pytest.raises(ReproError, match="fault partition"):
+            ensure_same_fault_partition(clean, chaos)
+        with pytest.raises(ReproError, match="fault partition"):
+            ensure_same_fault_partition(chaos, clean)
+        ensure_same_fault_partition(clean, self._record(3.0))
+        ensure_same_fault_partition(
+            chaos,
+            self._record(4.0, fault_plan={"name": "l", "fingerprint": "f00d"}),
+        )
+
+    def test_ensure_same_partition_rejects_different_plans(self):
+        from repro.obs.ledger import ensure_same_fault_partition
+
+        a = self._record(1.0, fault_plan={"name": "a", "fingerprint": "aa"})
+        b = self._record(2.0, fault_plan={"name": "b", "fingerprint": "bb"})
+        with pytest.raises(ReproError, match="fault partition"):
+            ensure_same_fault_partition(a, b)
+
+    def test_find_latest_within_partition(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        clean = self._record(1.0)
+        chaos = self._record(
+            2.0, fault_plan={"name": "loss", "fingerprint": "f00d"}
+        )
+        ledger.append(clean)
+        ledger.append(chaos)  # chaos run lands last
+        assert ledger.find("latest").run_id == chaos.run_id
+        assert (
+            ledger.find("latest", fault_fingerprint=None).run_id
+            == clean.run_id
+        )
+        assert (
+            ledger.find("latest", fault_fingerprint="f00d").run_id
+            == chaos.run_id
+        )
+        with pytest.raises(ReproError, match="fault partition"):
+            ledger.find("latest", fault_fingerprint="beef")
+
+    def test_regress_cli_refuses_mixed_partitions(self, tmp_path, capsys):
+        ledger_dir = str(tmp_path / "led")
+        ledger = RunLedger(ledger_dir)
+        baseline = self._record(10.0)
+        ledger.append(baseline)
+        ledger.append(
+            self._record(
+                30.0, fault_plan={"name": "loss", "fingerprint": "f00d"}
+            )
+        )
+        # ``latest`` resolves within the baseline's (clean) partition,
+        # so the chaos run is skipped and the gate passes.
+        assert main([
+            "report", "regress", "--ledger-dir", ledger_dir,
+            "--baseline", baseline.run_id,
+        ]) == 0
+        # Naming the chaos run explicitly is refused outright.
+        chaos_id = ledger.records()[-1].run_id
+        assert main([
+            "report", "regress", "--ledger-dir", ledger_dir,
+            "--baseline", baseline.run_id, "--run", chaos_id,
+        ]) == 2
+        assert "fault partition" in capsys.readouterr().err
+
+    def test_compare_cli_refuses_mixed_partitions(self, tmp_path, capsys):
+        ledger_dir = str(tmp_path / "led")
+        ledger = RunLedger(ledger_dir)
+        a = self._record(10.0)
+        b = self._record(
+            12.0, fault_plan={"name": "loss", "fingerprint": "f00d"}
+        )
+        ledger.append(a)
+        ledger.append(b)
+        assert main([
+            "report", "compare", "--ledger-dir", ledger_dir,
+            a.run_id, b.run_id,
+        ]) == 2
+        assert "fault partition" in capsys.readouterr().err
+
+    def test_attribution_round_trips_in_entry(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        record = make_record(
+            generated={
+                "completion_time_ms": 70.4,
+                "attribution": {"schema": 1, "dominant_component": "startup"},
+            }
+        )
+        ledger.append(record)
+        (loaded,) = ledger.records()
+        entry = loaded.algorithms["generated"]
+        assert entry.attribution["dominant_component"] == "startup"

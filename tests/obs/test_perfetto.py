@@ -92,3 +92,63 @@ class TestTraceEvents:
         with open(path) as fh:
             data = json.load(fh)
         assert data["traceEvents"]
+
+
+class TestCriticalPathTrack:
+    @pytest.fixture(scope="class")
+    def causal_events(self):
+        from repro.obs.attribution import explain_telemetry
+
+        topo = paper_example_cluster()
+        msize = kib(64)
+        programs = get_algorithm("scheduled").build_programs(topo, msize)
+        run = run_programs(
+            topo, programs, msize, NetworkParams(), telemetry=True
+        )
+        explain_telemetry(run.telemetry, topo, algorithm="scheduled")
+        return perfetto_events(run.telemetry), run.telemetry
+
+    def test_track_absent_without_causal_analysis(self, events):
+        assert not [e for e in events if e["pid"] == 7]
+
+    def test_track_present_with_causal_analysis(self, causal_events):
+        evts, _ = causal_events
+        names = {
+            e["args"]["name"]
+            for e in evts
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "critical path" in names
+
+    def test_one_slice_per_segment(self, causal_events):
+        evts, telemetry = causal_events
+        slices = [
+            e for e in evts
+            if e.get("cat") == "critical_path" and e["ph"] == "X"
+        ]
+        assert len(slices) == len(telemetry.causal.segments)
+        assert all(e["pid"] == 7 for e in slices)
+        assert all("component" in e["args"] for e in slices)
+
+    def test_flow_arrows_pair_up_on_lane_changes(self, causal_events):
+        evts, _ = causal_events
+        starts = [
+            e for e in evts
+            if e.get("cat") == "critical_path" and e["ph"] == "s"
+        ]
+        finishes = [
+            e for e in evts
+            if e.get("cat") == "critical_path" and e["ph"] == "f"
+        ]
+        assert starts  # the path hops between ranks and the wire
+        assert sorted(e["id"] for e in starts) == sorted(
+            e["id"] for e in finishes
+        )
+        by_id = {e["id"]: e for e in starts}
+        for fin in finishes:
+            assert fin["ts"] >= by_id[fin["id"]]["ts"]
+            assert fin["bp"] == "e"
+
+    def test_trace_still_json_serializable(self, causal_events):
+        _, telemetry = causal_events
+        json.dumps(perfetto_trace(telemetry))

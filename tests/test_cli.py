@@ -561,3 +561,87 @@ class TestChaosCommand:
              "--algorithms", "generated", "--plans", plan]
         ) == 1
         assert "UNRECOVERABLE" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro-aapc {__version__}" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_scheduled_within_budgets_exit_0(self, capsys):
+        assert main(
+            ["explain", "fig1", "--algorithm", "generated", "--no-noise",
+             "--no-ledger", "--budget", "contention=0.05",
+             "--budget", "residual=0.10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dominant component:" in out
+        assert "critical path:" in out
+
+    def test_budget_violation_exit_1(self, capsys):
+        assert main(
+            ["explain", "fig1", "--algorithm", "lam", "--no-noise",
+             "--no-ledger", "--budget", "contention=5%"]
+        ) == 1
+        assert "BUDGET VIOLATION" in capsys.readouterr().err
+
+    def test_bad_budget_spec_exit_2(self, capsys):
+        assert main(
+            ["explain", "fig1", "--no-ledger", "--budget", "residual"]
+        ) == 2
+        assert main(
+            ["explain", "fig1", "--no-ledger", "--budget", "residual=ten"]
+        ) == 2
+
+    def test_json_out_is_schema_versioned(self, tmp_path, capsys):
+        from repro.obs.attribution import (
+            ATTRIBUTION_SCHEMA_VERSION,
+            load_attribution,
+        )
+
+        path = str(tmp_path / "attr.json")
+        assert main(
+            ["explain", "fig1", "--no-noise", "--no-ledger",
+             "--json-out", path]
+        ) == 0
+        data = load_attribution(path)
+        assert data["schema"] == ATTRIBUTION_SCHEMA_VERSION
+        assert data["critical_path"]["num_segments"] > 0
+
+    def test_trace_out_has_critical_path_arrows(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "cp.json")
+        assert main(
+            ["explain", "fig1", "--no-ledger", "--trace-out", path]
+        ) == 0
+        with open(path) as fh:
+            events = json.load(fh)["traceEvents"]
+        assert [e for e in events if e.get("cat") == "critical_path"
+                and e["ph"] == "s"]
+
+    def test_appends_attribution_to_ledger(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = str(tmp_path / "led")
+        assert main(
+            ["explain", "fig1", "--no-noise", "--ledger-dir", ledger_dir]
+        ) == 0
+        (record,) = RunLedger(ledger_dir).records()
+        assert record.command == "explain"
+        entry = record.algorithms["generated"]
+        assert entry.attribution["dominant_component"]
+        assert "critical_path" not in entry.attribution
+
+    def test_example_topology_file(self, capsys):
+        assert main(
+            ["explain", "examples/two-switch.topo", "--algorithm", "lam",
+             "--no-noise", "--no-ledger"]
+        ) == 0
+        assert "dominant component: contention" in capsys.readouterr().out
