@@ -11,6 +11,12 @@ Subcommands mirror the workflow of the paper's routine generator:
   the paper's ``load/B`` bound into named components, with an optional
   ``--budget`` gate and a Perfetto trace carrying the critical path.
 * ``repro``    — regenerate a paper experiment table (Figures 6-8).
+* ``top``      — live run monitor: an in-place refreshing table of
+  hot-path metrics (events/s, sim/wall ratio, flows in flight, ETA)
+  while a simulation runs.
+* ``dash``     — self-contained static HTML dashboard generated from
+  the run ledger: completion/scheduler-runtime trends, attribution
+  stacks and hot-loop counters per topology fingerprint.
 * ``report``   — query the persistent run ledger: ``list`` / ``show`` /
   ``compare`` / ``regress`` (the CI perf gate).  Comparisons never mix
   runs from different fault partitions (clean vs chaos plans).
@@ -102,22 +108,27 @@ def _configure_logging(verbosity: int) -> None:
 
     The package root logger carries only a NullHandler by default (a
     library must not log uninvited); ``-v`` turns on INFO, ``-vv``
-    DEBUG.  Idempotent so repeated ``main()`` calls (tests) do not
-    stack handlers.
+    DEBUG.  Idempotent: repeated or nested ``main()`` calls update the
+    one existing handler in place instead of stacking a second, and
+    propagation to the process root logger is cut while our handler is
+    attached, so a host that ran ``logging.basicConfig`` does not
+    print every record a second time.
     """
     if verbosity <= 0:
         return
     root = logging.getLogger("repro")
     root.setLevel(logging.DEBUG if verbosity >= 2 else logging.INFO)
-    for handler in root.handlers:
-        if getattr(handler, "_repro_cli", False):
-            return
-    handler = logging.StreamHandler(sys.stderr)
-    handler.setFormatter(
-        logging.Formatter("%(levelname)s %(name)s: %(message)s")
-    )
-    handler._repro_cli = True  # type: ignore[attr-defined]
-    root.addHandler(handler)
+    ours = [h for h in root.handlers if getattr(h, "_repro_cli", False)]
+    for extra in ours[1:]:
+        root.removeHandler(extra)
+    if not ours:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    root.propagate = False
 
 
 def _params_dict(params: NetworkParams) -> Dict[str, object]:
@@ -264,6 +275,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     if fault_plan is not None:
         from repro.faults.runtime import run_resilient
+        from repro.obs.metrics_registry import MetricsRegistry
 
         print(
             f"fault plan {fault_plan.name!r} "
@@ -274,10 +286,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{len(fault_plan.crashes)} crash(es)"
         )
         for name in names:
-            res = run_resilient(
-                topo, name, msize, params,
-                faults=fault_plan, telemetry=want_telemetry,
-            )
+            registry = MetricsRegistry()
+            with registry.activate():
+                res = run_resilient(
+                    topo, name, msize, params,
+                    faults=fault_plan, telemetry=want_telemetry,
+                    max_trace_records=args.trace_cap,
+                )
             for d in res.decisions:
                 print(
                     f"  [{d.stage}] {d.from_algorithm} -> {d.to_algorithm}: "
@@ -319,6 +334,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     "algorithm_used": res.algorithm_used,
                     "fallback_decisions": res.decisions_dict(),
                 },
+                stats=result.stats,
             )
         _append_ledger(
             args,
@@ -333,21 +349,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         return 1 if unrecoverable else 0
 
+    from repro.obs.metrics_registry import MetricsRegistry, SnapshotWriter
+    from repro.obs.monitor import MonitorConfig
+
     for name in names:
         algorithm = get_algorithm(name)
         profiler = PipelineProfiler()
-        t0 = time.perf_counter()
-        with profiler.activate():
-            programs = algorithm.build_programs(topo, msize)
-        build_seconds = time.perf_counter() - t0
-        profile = profiler.report()
-        logger.info(
-            "%s: built programs in %.1f ms (%d pipeline spans)",
-            algorithm.name, build_seconds * 1e3, len(profile.spans),
-        )
-        result = run_programs(
-            topo, programs, msize, params, telemetry=want_telemetry
-        )
+        # One registry per algorithm: the snapshot in the ledger entry
+        # covers this algorithm's scheduling *and* its simulated run.
+        registry = MetricsRegistry()
+        stats_writer: Optional[SnapshotWriter] = None
+        monitor_config: Optional[MonitorConfig] = None
+        if args.stats_out:
+            stats_path = _derived_path(args.stats_out, name, multiple)
+            stats_writer = SnapshotWriter(stats_path)
+            monitor_config = MonitorConfig(
+                interval=args.metrics_interval,
+                on_snapshot=stats_writer.write,
+            )
+        with registry.activate():
+            t0 = time.perf_counter()
+            with profiler.activate():
+                programs = algorithm.build_programs(topo, msize)
+            build_seconds = time.perf_counter() - t0
+            profile = profiler.report()
+            logger.info(
+                "%s: built programs in %.1f ms (%d pipeline spans)",
+                algorithm.name, build_seconds * 1e3, len(profile.spans),
+            )
+            result = run_programs(
+                topo, programs, msize, params, telemetry=want_telemetry,
+                max_trace_records=args.trace_cap,
+                monitor=monitor_config,
+            )
+        if stats_writer is not None:
+            stats_writer.close()
         throughput = result.aggregate_throughput(topo.num_machines, msize)
         line = (
             f"{algorithm.describe(topo, msize):28s} "
@@ -372,6 +408,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             path = _derived_path(args.metrics_out, name, multiple)
             result.telemetry.write_metrics(path)
             print(f"  wrote metrics {path}")
+        if stats_writer is not None:
+            print(f"  wrote metrics snapshots {stats_writer.path}")
         entries[algorithm.name] = AlgorithmEntry(
             completion_time_ms=result.completion_time * 1e3,
             throughput_mbps=bytes_per_sec_to_mbps(throughput),
@@ -382,6 +420,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 else None
             ),
             pipeline=profile.as_dicts(),
+            stats=result.stats,
         )
     _append_ledger(
         args,
@@ -408,7 +447,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     with profiler.activate():
         programs = algorithm.build_programs(topo, msize)
     result = run_programs(
-        topo, programs, msize, NetworkParams(seed=args.seed), telemetry=True
+        topo, programs, msize, NetworkParams(seed=args.seed), telemetry=True,
+        max_trace_records=args.trace_cap,
     )
     telemetry = result.telemetry
     telemetry.pipeline = profiler.report()
@@ -437,6 +477,73 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.metrics_out:
         telemetry.write_metrics(args.metrics_out)
         print(f"wrote metrics {args.metrics_out}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.metrics_registry import MetricsRegistry, SnapshotWriter
+    from repro.obs.monitor import MonitorConfig, render_top_table
+
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    algorithm = get_algorithm(args.algorithm)
+    registry = MetricsRegistry()
+    writer = SnapshotWriter(args.stats_out) if args.stats_out else None
+    title = (
+        f"{algorithm.name} on {args.topology}  msize {args.msize}  "
+        f"seed {args.seed}"
+    )
+    in_place = sys.stdout.isatty() and not args.no_tty
+    drawn = [0]
+
+    def on_snapshot(snapshot) -> None:
+        if writer is not None:
+            writer.write(snapshot)
+        lines = render_top_table(snapshot, title=title)
+        if in_place and drawn[0]:
+            # Return to the top of the previous table and clear down.
+            sys.stdout.write(f"\x1b[{drawn[0]}F\x1b[0J")
+        sys.stdout.write("\n".join(lines) + "\n")
+        sys.stdout.flush()
+        drawn[0] = len(lines)
+
+    config = MonitorConfig(
+        interval=args.metrics_interval, on_snapshot=on_snapshot
+    )
+    try:
+        with registry.activate():
+            programs = algorithm.build_programs(topo, msize)
+            result = run_programs(
+                topo, programs, msize, NetworkParams(seed=args.seed),
+                monitor=config,
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+    print(
+        f"completed in {seconds_to_ms(result.completion_time):.2f} ms "
+        f"simulated ({result.events_processed} engine events)"
+    )
+    if writer is not None:
+        print(f"wrote metrics snapshots {writer.path}")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    records = ledger.records()
+    if not records:
+        print(f"ledger {ledger.path} is empty; dashboard will be blank",
+              file=sys.stderr)
+    write_dashboard(records, args.out, title=args.title)
+    groups = len({r.topology_fingerprint for r in records})
+    print(
+        f"wrote dashboard {args.out} "
+        f"({len(records)} record(s), {groups} topology fingerprint(s))"
+    )
     return 0
 
 
@@ -631,6 +738,7 @@ def _cmd_repro(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         telemetry=bool(args.metrics_out),
         faults=fault_plan,
+        max_trace_records=args.trace_cap,
     )
     if args.metrics_out:
         import json
@@ -1080,6 +1188,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="FILE",
                    help="fault-injection plan JSON (run under chaos, with "
                         "retry/watchdog/fallback resilience)")
+    p.add_argument("--stats-out", default=None, metavar="FILE",
+                   help="write hot-path metrics snapshots as JSONL per "
+                        "algorithm (periodic monitor snapshots plus a final "
+                        "one)")
+    p.add_argument("--metrics-interval", type=float, default=0.5,
+                   metavar="SECS",
+                   help="wall-clock seconds between live monitor snapshots "
+                        "(default 0.5)")
+    p.add_argument("--trace-cap", type=int, default=None, metavar="N",
+                   help="ring-buffer cap on flight-recorder trace records "
+                        "(bounds memory; disables causal analysis)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -1097,7 +1216,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the metrics JSON report")
     p.add_argument("--phases", action="store_true",
                    help="also print per-phase health rows")
+    p.add_argument("--trace-cap", type=int, default=None, metavar="N",
+                   help="ring-buffer cap on flight-recorder trace records "
+                        "(bounds memory; disables causal analysis)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top", parents=[common],
+        help="live run monitor: refreshing metrics table while simulating",
+    )
+    p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
+    p.add_argument("--algorithm", default="generated",
+                   choices=available_algorithms())
+    p.add_argument("--msize", default="64KB")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics-interval", type=float, default=0.5,
+                   metavar="SECS",
+                   help="wall-clock seconds between table refreshes "
+                        "(default 0.5)")
+    p.add_argument("--stats-out", default=None, metavar="FILE",
+                   help="also write each snapshot as a JSONL line")
+    p.add_argument("--no-tty", action="store_true",
+                   help="never redraw in place; append tables as plain text")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "dash", parents=[common],
+        help="self-contained HTML dashboard from the run ledger",
+    )
+    p.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: "
+             "$REPRO_AAPC_LEDGER_DIR or ~/.cache/repro-aapc/ledger)",
+    )
+    p.add_argument("-o", "--out", default="dashboard.html",
+                   help="output HTML path (default dashboard.html)")
+    p.add_argument("--title", default="repro-aapc ledger dashboard")
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser(
         "explain", parents=[common, ledger_opts],
@@ -1177,6 +1332,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-cell metrics incl. link stats as JSON")
     p.add_argument("--faults", default=None, metavar="FILE",
                    help="fault-injection plan JSON applied to every cell")
+    p.add_argument("--trace-cap", type=int, default=None, metavar="N",
+                   help="ring-buffer cap on flight-recorder trace records "
+                        "for instrumented cells (bounds memory; disables "
+                        "per-cell attribution)")
     p.set_defaults(func=_cmd_repro)
 
     p = sub.add_parser(

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulingError
+from repro.obs.metrics_registry import metric_inc
 from repro.core.global_schedule import GlobalSchedule
 from repro.core.pattern import Message
 from repro.core.patterns import broadcast_pattern, rotate_pattern
@@ -98,6 +99,7 @@ def assign_messages(
     topology: Topology, info: RootInfo, gs: GlobalSchedule
 ) -> PhasedSchedule:
     """Run steps 1-6 and return the completed phased schedule."""
+    metric_inc("scheduler.phase_partition_attempts")
     state = AssignmentState(topology, info, gs)
     _step1_t0_to_others(state)
     _step2_others_to_t0(state)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import SchedulingError
+from repro.obs.metrics_registry import metric_inc, metric_observe
 from repro.obs.profiling import add_counters, pipeline_span
 from repro.core.assignment import AssignmentState, assign_messages
 from repro.core.assignment import (
@@ -90,6 +91,7 @@ def schedule_aapc(
                     # Defence in depth: the constructive embedding is
                     # proven for valid inputs, but fall back to matching
                     # rather than fail.
+                    metric_inc("scheduler.backtracks")
                     schedule = _assign_with_matching(topology, info, gs)
             elif local_embedding == "matching":
                 schedule = _assign_with_matching(topology, info, gs)
@@ -125,6 +127,7 @@ def _assign_with_matching(
     topology: Topology, info: RootInfo, gs: GlobalSchedule
 ) -> PhasedSchedule:
     """Globals per steps 1/2/4/6; locals by maximum bipartite matching."""
+    metric_inc("scheduler.phase_partition_attempts")
     state = AssignmentState(topology, info, gs)
     _step1_t0_to_others(state)
     _step2_others_to_t0(state)
@@ -180,6 +183,10 @@ def _embed_locals_by_matching(state: AssignmentState) -> None:
                     feasible.append(p)
             adjacency.append(feasible)
         match = hopcroft_karp(adjacency, state.T)
+        metric_observe(
+            "scheduler.matching_size",
+            sum(1 for p in match if p is not None),
+        )
         unmatched = [pairs[idx] for idx, p in enumerate(match) if p is None]
         if unmatched:
             raise SchedulingError(

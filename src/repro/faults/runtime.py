@@ -201,6 +201,7 @@ def run_resilient(
     pre_assess: bool = True,
     telemetry: bool = False,
     check_delivery: bool = True,
+    max_trace_records: Optional[int] = None,
 ) -> ResilientResult:
     """Run *algorithm* under *faults*, degrading gracefully when it cannot finish.
 
@@ -232,6 +233,7 @@ def run_resilient(
             watchdog=watchdog,
             telemetry=telemetry,
             check_delivery=check_delivery,
+            max_trace_records=max_trace_records,
         )
 
     chosen = algorithm

@@ -67,9 +67,12 @@ class Experiment:
         repetitions: Optional[int] = None,
         telemetry: bool = False,
         faults=None,
+        max_trace_records: Optional[int] = None,
     ) -> ExperimentResult:
         """*faults* is an optional :class:`~repro.faults.plan.FaultPlan`
-        injected into every simulated repetition (chaos benchmarking)."""
+        injected into every simulated repetition (chaos benchmarking);
+        *max_trace_records* caps the flight-recorder trace of
+        instrumented cells (``--trace-cap``)."""
         topology = self.topology_factory()
         algorithms = [factory() for factory in self.algorithm_factories]
         workloads = message_size_sweep(
@@ -79,6 +82,7 @@ class Experiment:
         return run_experiment(
             self.name, topology, algorithms, workloads, params,
             telemetry=telemetry, faults=faults,
+            max_trace_records=max_trace_records,
         )
 
 

@@ -106,6 +106,7 @@ def run_experiment(
     check_delivery: bool = True,
     telemetry: bool = False,
     faults=None,
+    max_trace_records: Optional[int] = None,
 ) -> ExperimentResult:
     """Simulate every (algorithm, workload) cell and average repetitions.
 
@@ -144,6 +145,7 @@ def run_experiment(
                     check_delivery=check_delivery,
                     telemetry=telemetry and i == 0,
                     faults=faults,
+                    max_trace_records=max_trace_records,
                 )
                 samples.append(run.completion_time)
                 peak_flows = max(peak_flows, run.peak_concurrent_flows)

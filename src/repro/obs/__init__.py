@@ -26,6 +26,16 @@ makes the offline pipeline that produces it measurable:
   dependence graph, transitive reduction).
 * :mod:`repro.obs.ledger` — persistent append-only run ledger
   (JSONL) plus the ``report regress`` comparison machinery.
+* :mod:`repro.obs.metrics_registry` — off-by-default hot-path
+  counter/gauge/histogram registry threaded through the engine, the
+  max-min solver, the MPI layer and the offline pipeline; exports
+  snapshots as schema-versioned ``stats`` dicts, JSONL streams and
+  Prometheus text exposition.
+* :mod:`repro.obs.monitor` — live run monitor emitting periodic
+  :class:`~repro.obs.metrics_registry.MetricsSnapshot` events
+  (``repro-aapc top``, ``--stats-out``).
+* :mod:`repro.obs.dashboard` — self-contained static HTML dashboard
+  generated from the ledger (``repro-aapc dash``).
 * :mod:`repro.obs.causal` — happens-before DAG reconstruction from the
   recorded events, critical-path extraction and per-flow/per-sync slack.
 * :mod:`repro.obs.attribution` — decomposition of the gap between the
@@ -62,6 +72,20 @@ _EXPORTS = {
     "write_perfetto": "repro.obs.perfetto",
     "RunTelemetry": "repro.obs.telemetry",
     "EngineStats": "repro.obs.telemetry",
+    "MetricsRegistry": "repro.obs.metrics_registry",
+    "MetricsSnapshot": "repro.obs.metrics_registry",
+    "SnapshotWriter": "repro.obs.metrics_registry",
+    "active_registry": "repro.obs.metrics_registry",
+    "metric_inc": "repro.obs.metrics_registry",
+    "metric_observe": "repro.obs.metrics_registry",
+    "load_snapshots": "repro.obs.metrics_registry",
+    "loads_snapshot": "repro.obs.metrics_registry",
+    "validate_stats": "repro.obs.metrics_registry",
+    "MonitorConfig": "repro.obs.monitor",
+    "RunMonitor": "repro.obs.monitor",
+    "render_top_table": "repro.obs.monitor",
+    "render_dashboard": "repro.obs.dashboard",
+    "write_dashboard": "repro.obs.dashboard",
     "PipelineProfiler": "repro.obs.profiling",
     "PipelineProfile": "repro.obs.profiling",
     "SpanRecord": "repro.obs.profiling",
@@ -146,6 +170,19 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         LinkMetricsReport,
         LinkReport,
     )
+    from repro.obs.dashboard import render_dashboard, write_dashboard
+    from repro.obs.metrics_registry import (
+        MetricsRegistry,
+        MetricsSnapshot,
+        SnapshotWriter,
+        active_registry,
+        load_snapshots,
+        loads_snapshot,
+        metric_inc,
+        metric_observe,
+        validate_stats,
+    )
+    from repro.obs.monitor import MonitorConfig, RunMonitor, render_top_table
     from repro.obs.perfetto import perfetto_trace, write_perfetto
     from repro.obs.profiling import (
         PipelineProfile,

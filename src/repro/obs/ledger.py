@@ -30,6 +30,8 @@ from typing import Dict, Iterable, List, Optional
 
 from repro._version import __version__
 from repro.errors import ReproError
+from repro.obs.metrics_registry import validate_stats
+from repro.units import format_duration_ms
 
 logger = logging.getLogger("repro.obs.ledger")
 
@@ -101,6 +103,9 @@ class AlgorithmEntry:
     pipeline: Optional[List[Dict[str, object]]] = None
     #: Optimality-gap attribution (``AttributionReport.as_dict()``).
     attribution: Optional[Dict[str, object]] = None
+    #: Hot-path metrics snapshot (the schema-versioned ``stats``
+    #: envelope from :mod:`repro.obs.metrics_registry`).
+    stats: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -116,10 +121,15 @@ class AlgorithmEntry:
             data["pipeline"] = self.pipeline
         if self.attribution is not None:
             data["attribution"] = self.attribution
+        if self.stats is not None:
+            data["stats"] = self.stats
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "AlgorithmEntry":
+        stats = data.get("stats")
+        if stats is not None:
+            validate_stats(stats)
         return cls(
             completion_time_ms=float(data["completion_time_ms"]),
             throughput_mbps=data.get("throughput_mbps"),
@@ -127,6 +137,7 @@ class AlgorithmEntry:
             telemetry=data.get("telemetry"),
             pipeline=data.get("pipeline"),
             attribution=data.get("attribution"),
+            stats=stats,
         )
 
 
@@ -439,11 +450,18 @@ class MetricDelta:
     def change_percent(self) -> float:
         return (self.ratio - 1.0) * 100.0
 
+    def _render(self, value: float) -> str:
+        """Human-readable value: durations get auto-picked units."""
+        if self.metric.endswith("_ms"):
+            return format_duration_ms(value)
+        return f"{value:.3f}"
+
     def __str__(self) -> str:
         arrow = "+" if self.current >= self.baseline else ""
         return (
             f"{self.algorithm:<24s} {self.metric:<22s} "
-            f"{self.baseline:10.3f} -> {self.current:10.3f}  "
+            f"{self._render(self.baseline):>10s} -> "
+            f"{self._render(self.current):<10s} "
             f"({arrow}{self.change_percent:.1f}%)"
         )
 

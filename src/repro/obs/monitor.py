@@ -1,0 +1,180 @@
+"""Live run monitor: periodic metrics snapshots while a run executes.
+
+Long simulations (the 512-4096 rank sweeps ROADMAP targets) run for
+wall-clock minutes with no feedback.  :class:`RunMonitor` is a recurring
+engine event — the same pattern as the stall watchdog — that wakes every
+``sim_tick`` simulated seconds, and whenever ``interval`` wall-clock
+seconds have passed emits a
+:class:`~repro.obs.metrics_registry.MetricsSnapshot` carrying the live
+context the raw instruments cannot derive: events/second, the
+sim-time/wall-time ratio, flows in flight, operation progress and an
+ETA.  Snapshots are published on the run's event bus (when present) and
+handed to an ``on_snapshot`` callback — the ``repro-aapc top``
+subcommand renders them as an in-place refreshing table, and
+``--stats-out`` appends them to a JSONL file.
+
+The monitor works with or without an active
+:class:`~repro.obs.metrics_registry.MetricsRegistry`; without one the
+snapshots carry only the monitor block (engine/network state), with one
+they also freeze every hot-path instrument.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.obs.metrics_registry import MetricsRegistry, MetricsSnapshot
+from repro.units import format_duration
+
+#: Type of the per-snapshot callback.
+SnapshotSink = Callable[[MetricsSnapshot], None]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """How often to look and how often to speak.
+
+    *interval* is **wall-clock** seconds between emitted snapshots;
+    *sim_tick* is the simulated-seconds granularity at which the monitor
+    wakes to check the wall clock (cheap: one heap event per tick).
+    """
+
+    interval: float = 0.5
+    sim_tick: float = 0.001
+    on_snapshot: Optional[SnapshotSink] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.sim_tick <= 0:
+            raise ValueError("monitor intervals must be positive")
+
+
+class RunMonitor:
+    """Recurring engine event that emits live metrics snapshots.
+
+    *progress* is an optional callable returning ``(done, total)``
+    operation counts (the executor wires its op counter in); *all_done*
+    tells the monitor to stop rescheduling so the event heap can drain.
+    """
+
+    def __init__(
+        self,
+        engine,
+        network,
+        config: MonitorConfig,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        bus=None,
+        progress: Optional[Callable[[], tuple]] = None,
+        all_done: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.config = config
+        self.registry = registry
+        self.bus = bus
+        self._progress = progress
+        self._all_done = all_done
+        self._stopped = False
+        self._epoch = time.perf_counter()
+        self._last_emit_wall = self._epoch
+        self._last_events = 0
+        self._last_sim = 0.0
+        self.snapshots_emitted = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.engine.schedule(self.config.sim_tick, self._check)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _check(self) -> None:
+        if self._stopped or (self._all_done is not None and self._all_done()):
+            return
+        now = time.perf_counter()
+        if now - self._last_emit_wall >= self.config.interval:
+            self.emit()
+        self.engine.schedule(self.config.sim_tick, self._check)
+
+    # ------------------------------------------------------------------
+    def emit(self) -> MetricsSnapshot:
+        """Build, publish and return one snapshot (also used at run end)."""
+        now = time.perf_counter()
+        dt = max(now - self._last_emit_wall, 1e-9)
+        events = self.engine.events_processed
+        sim_now = self.engine.now
+        context = {
+            "sim_time": sim_now,
+            "events_total": float(events),
+            "events_per_sec": (events - self._last_events) / dt,
+            "sim_wall_ratio": (sim_now - self._last_sim) / dt,
+            "flows_in_flight": float(self.network.active_flows),
+        }
+        if self._progress is not None:
+            done, total = self._progress()
+            if total > 0:
+                frac = done / total
+                context["progress"] = frac
+                elapsed = now - self._epoch
+                if 0.0 < frac < 1.0:
+                    context["eta_s"] = elapsed * (1.0 - frac) / frac
+                elif frac >= 1.0:
+                    context["eta_s"] = 0.0
+        if self.registry is not None:
+            snapshot = self.registry.snapshot(**context)
+        else:
+            snapshot = MetricsSnapshot(
+                wall_time=now - self._epoch, monitor=context
+            )
+        self._last_emit_wall = now
+        self._last_events = events
+        self._last_sim = sim_now
+        self.snapshots_emitted += 1
+        if self.bus is not None:
+            self.bus.publish(snapshot)
+        if self.config.on_snapshot is not None:
+            self.config.on_snapshot(snapshot)
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# terminal rendering (the `top` subcommand)
+# ----------------------------------------------------------------------
+def render_top_table(
+    snapshot: MetricsSnapshot, *, title: str = ""
+) -> List[str]:
+    """The ``repro-aapc top`` table for one snapshot, as text lines.
+
+    Pure function of the snapshot so it is testable without a tty; the
+    CLI redraws it in place with ANSI cursor movement.
+    """
+    mon = snapshot.monitor
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    rows: List[tuple] = [
+        ("sim time", format_duration(mon.get("sim_time", 0.0))),
+        ("wall time", format_duration(snapshot.wall_time)),
+        ("events", f"{int(mon.get('events_total', snapshot.counters.get('engine.events_total', 0))):,}"),
+        ("events/s", f"{mon.get('events_per_sec', 0.0):,.0f}"),
+        ("sim/wall", f"{mon.get('sim_wall_ratio', 0.0):.3g}x"),
+        ("flows in flight", f"{int(mon.get('flows_in_flight', 0))}"),
+    ]
+    posted = snapshot.counters.get("mpi.syncs_posted")
+    if posted is not None:
+        retired = snapshot.counters.get("mpi.syncs_retired", 0)
+        rows.append(("syncs posted/retired", f"{posted}/{retired}"))
+    resolves = snapshot.counters.get("network.resolves_total")
+    if resolves is not None:
+        rows.append(("max-min re-solves", f"{resolves}"))
+    if "progress" in mon:
+        progress = f"{mon['progress'] * 100.0:5.1f}%"
+        if "eta_s" in mon:
+            progress += f"   ETA {format_duration(mon['eta_s'])}"
+        rows.append(("progress", progress))
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        lines.append(f"  {label:<{width}s}  {value}")
+    return lines

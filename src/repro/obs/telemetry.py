@@ -90,6 +90,10 @@ class RunTelemetry:
     #: Optimality-gap attribution (``AttributionReport.as_dict()``),
     #: attached by :func:`repro.obs.attribution.explain_telemetry`.
     attribution: Optional[Dict[str, object]] = None
+    #: Hot-path metrics snapshot (the schema-versioned ``stats``
+    #: envelope from :mod:`repro.obs.metrics_registry`), attached by the
+    #: executor when a registry was active during the run.
+    stats: Optional[Dict[str, object]] = None
     #: The causal analysis behind the attribution — the Perfetto
     #: exporter renders its critical path as a track plus flow arrows.
     causal: Optional["CausalAnalysis"] = None
@@ -134,6 +138,8 @@ class RunTelemetry:
             data["pipeline"] = self.pipeline.as_dicts()
         if self.attribution is not None:
             data["attribution"] = dict(self.attribution)
+        if self.stats is not None:
+            data["stats"] = dict(self.stats)
         if self.fault_stats is not None:
             data["faults"] = {
                 "windows": [

@@ -19,6 +19,7 @@ import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics_registry import active_registry
 
 
 class SimEvent:
@@ -70,6 +71,25 @@ class Engine:
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._events_processed = 0
         self._peak_heap_depth = 0
+        # Metric handles are captured once at construction; when no
+        # registry is active the run loop pays one None test per event.
+        registry = active_registry()
+        if registry is not None:
+            self._m_events = registry.counter(
+                "engine.events_total", "Events processed by the event loop"
+            )
+            self._m_queue = registry.gauge(
+                "engine.queue_depth", "Pending events at the last batch boundary"
+            )
+            self._m_batch = registry.histogram(
+                "engine.event_batch_size", "Events sharing one timestamp"
+            )
+        else:
+            self._m_events = None
+            self._m_queue = None
+            self._m_batch = None
+        self._batch_time = -1.0
+        self._batch_count = 0
 
     @property
     def now(self) -> float:
@@ -133,10 +153,12 @@ class Engine:
         Raises :class:`SimulationError` when *max_events* fire — the
         deadlock/livelock backstop for buggy programs.
         """
+        m_events = self._m_events
         while self._heap:
             time, _seq, callback = self._heap[0]
             if until is not None and time > until:
                 self._now = until
+                self._flush_batch()
                 return
             heapq.heappop(self._heap)
             if time < self._now - 1e-12:
@@ -145,9 +167,27 @@ class Engine:
                 )
             self._now = max(self._now, time)
             self._events_processed += 1
+            if m_events is not None:
+                m_events.value += 1
+                if time != self._batch_time:
+                    if self._batch_count:
+                        self._m_batch.observe(self._batch_count)
+                    self._batch_time = time
+                    self._batch_count = 1
+                    self._m_queue.value = len(self._heap)
+                else:
+                    self._batch_count += 1
             if self._events_processed > max_events:
                 raise SimulationError(
                     f"exceeded {max_events} events; simulation is likely "
                     "stuck in a livelock"
                 )
             callback()
+        self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        """Record the trailing same-timestamp event batch, if any."""
+        if self._m_batch is not None and self._batch_count:
+            self._m_batch.observe(self._batch_count)
+            self._batch_count = 0
+            self._m_queue.value = len(self._heap)

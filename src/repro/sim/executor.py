@@ -24,6 +24,8 @@ from repro.core.program import Block, Op, OpKind, Program
 from repro.obs.bus import EventBus, LinkOccupancy
 from repro.obs.diagnostics import schedule_health
 from repro.obs.link_metrics import LinkMetricsCollector
+from repro.obs.metrics_registry import active_registry
+from repro.obs.monitor import MonitorConfig, RunMonitor
 from repro.obs.telemetry import EngineStats, RunTelemetry
 from repro.sim.engine import Engine, SimEvent
 from repro.sim.mpi import Request, SimMPI
@@ -58,6 +60,9 @@ class RunResult:
     trace: Optional[Trace] = None
     #: Flight-recorder bundle (``run_programs(..., telemetry=True)``).
     telemetry: Optional[RunTelemetry] = None
+    #: Final hot-path metrics snapshot (``stats`` envelope dict), when a
+    #: :class:`~repro.obs.metrics_registry.MetricsRegistry` was active.
+    stats: Optional[Dict[str, object]] = None
     #: What the fault injector did to this run (fault injection only).
     fault_stats: Optional[Dict[str, int]] = None
     #: Ranks that crashed mid-run (crash-at-time faults).
@@ -100,6 +105,7 @@ def run_programs(
     link_bandwidths: Optional[Dict[Tuple[str, str], float]] = None,
     faults: Optional["FaultPlan"] = None,
     watchdog: Optional["WatchdogConfig"] = None,
+    monitor: Optional[MonitorConfig] = None,
 ) -> RunResult:
     """Simulate the programs and return timing plus correctness results.
 
@@ -139,6 +145,12 @@ def run_programs(
         :class:`~repro.errors.StallError` carrying a
         :class:`~repro.faults.watchdog.StallDiagnosis` instead of
         hanging or dying with an unexplained deadlock.
+    monitor:
+        Optional :class:`~repro.obs.monitor.MonitorConfig`.  A
+        :class:`~repro.obs.monitor.RunMonitor` then emits periodic live
+        :class:`~repro.obs.metrics_registry.MetricsSnapshot` events
+        (plus one final snapshot) on the run's bus and to the config's
+        ``on_snapshot`` callback.
     """
     machines = list(topology.machines)
     missing = [m for m in machines if m not in programs]
@@ -436,9 +448,26 @@ def run_programs(
             if t is not None:
                 engine.schedule(t, make_crash(m))
 
+    total_ops = sum(len(p.ops) for p in programs.values())
+    run_monitor: Optional[RunMonitor] = None
+    if monitor is not None:
+        run_monitor = RunMonitor(
+            engine,
+            network,
+            monitor,
+            registry=active_registry(),
+            bus=bus,
+            progress=lambda: (ops_completed[0], total_ops),
+            all_done=all_done,
+        )
+        run_monitor.start()
+
     for m in machines:
         engine.spawn(rank_process(m, programs[m]))
     engine.run()
+    if run_monitor is not None:
+        run_monitor.emit()
+        run_monitor.stop()
 
     unfinished = [
         m for m in machines if m not in rank_finish and m not in crashed
@@ -462,6 +491,13 @@ def run_programs(
         _check_delivery(machines, received, received_lists, expected_blocks)
 
     completion = max(rank_finish.values()) if rank_finish else 0.0
+
+    registry = active_registry()
+    run_stats: Optional[Dict[str, object]] = (
+        registry.snapshot(sim_time=completion).as_dict()
+        if registry is not None
+        else None
+    )
 
     run_telemetry: Optional[RunTelemetry] = None
     if collector is not None:
@@ -493,6 +529,7 @@ def run_programs(
             link_bandwidths=(
                 dict(link_bandwidths) if link_bandwidths else None
             ),
+            stats=run_stats,
         )
 
     return RunResult(
@@ -508,6 +545,7 @@ def run_programs(
         telemetry=run_telemetry,
         fault_stats=injector.stats.as_dict() if injector is not None else None,
         crashed_ranks=tuple(sorted(crashed)),
+        stats=run_stats,
     )
 
 

@@ -27,6 +27,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.core.program import Block
+from repro.obs.metrics_registry import active_registry
 from repro.sim.engine import Engine, SimEvent
 from repro.sim.network import Flow, FlowNetwork
 from repro.sim.params import NetworkParams
@@ -106,6 +107,23 @@ class SimMPI:
         self._barrier_expected = 0
         self.messages_matched = 0
         self.flows_started = 0
+        # Metric handles captured once; None handles cost one test per
+        # sync operation (see repro.obs.metrics_registry).
+        registry = active_registry()
+        if registry is not None:
+            self._m_syncs_posted = registry.counter(
+                "mpi.syncs_posted", "Pair-wise sync sends posted"
+            )
+            self._m_syncs_retired = registry.counter(
+                "mpi.syncs_retired", "Sync deliveries completed"
+            )
+            self._m_retransmits = registry.counter(
+                "mpi.retransmits", "Sync retransmission attempts"
+            )
+        else:
+            self._m_syncs_posted = None
+            self._m_syncs_retired = None
+            self._m_retransmits = None
         #: Sync deliveries still outstanding (watchdog diagnosis):
         #: key (src, dst, tag) -> {"phase", "attempts", "state"}.
         self.pending_syncs: Dict[Tuple[str, str, int], Dict[str, object]] = {}
@@ -126,6 +144,8 @@ class SimMPI:
         req = Request(
             self.engine.event(), "send", rank, peer, tag, nbytes, blocks, phase
         )
+        if sync and self._m_syncs_posted is not None:
+            self._m_syncs_posted.value += 1
         mode = "eager" if sync else self.params.transfer_mode(nbytes)
         if mode in ("eager", "buffered"):
             # The transport buffers the whole message: the sender's
@@ -186,7 +206,16 @@ class SimMPI:
         latency = self.params.sync_latency if sync else self.params.eager_latency
         arrival = send.post_time + latency
         delay = max(0.0, arrival - self.engine.now)
-        self.engine.schedule(delay, lambda: recv.event.trigger(recv))
+        if sync and self._m_syncs_retired is not None:
+            retired = self._m_syncs_retired
+
+            def deliver() -> None:
+                retired.value += 1
+                recv.event.trigger(recv)
+
+            self.engine.schedule(delay, deliver)
+        else:
+            self.engine.schedule(delay, lambda: recv.event.trigger(recv))
 
     # ------------------------------------------------------------------
     # resilience protocol for sync messages (fault injection active)
@@ -221,6 +250,8 @@ class SimMPI:
         for attempt in range(params.sync_max_retries + 1):
             if attempt > 0:
                 injector.stats.sync_retransmits += 1
+                if self._m_retransmits is not None:
+                    self._m_retransmits.value += 1
                 entry["attempts"] = attempt + 1
                 if self.bus is not None:
                     self.bus.publish(
@@ -260,6 +291,8 @@ class SimMPI:
         def arrive() -> None:
             if not recv.event.triggered:  # duplicates are discarded
                 self.pending_syncs.pop(key, None)
+                if self._m_syncs_retired is not None:
+                    self._m_syncs_retired.value += 1
                 recv.event.trigger(recv)
 
         for arrival in arrivals:

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.bus import EventBus, FlowFinished, FlowStarted, LinkOccupancy
+from repro.obs.metrics_registry import active_registry
 from repro.sim.engine import Engine
 from repro.sim.params import NetworkParams
 from repro.topology.graph import Edge, Topology
@@ -127,6 +128,35 @@ class FlowNetwork:
             for t in injector.boundaries():
                 if t > 0:
                     self.engine.schedule(t, self._mark_dirty)
+        # Metric handles captured once; None handles keep the hot paths
+        # at one test per site (see repro.obs.metrics_registry).
+        registry = active_registry()
+        if registry is not None:
+            self._m_resolves = registry.counter(
+                "network.resolves_total", "Max-min rate re-solves"
+            )
+            self._m_flowset = registry.counter(
+                "network.flow_set_changes", "Flow-set / rate-change instants"
+            )
+            self._m_touched = registry.histogram(
+                "network.resolve_touched", "Flow x link pairs per re-solve"
+            )
+            self._m_waterfill = registry.histogram(
+                "network.waterfill_iterations", "Progressive-filling rounds"
+            )
+            self._m_saturated = registry.histogram(
+                "network.saturated_links", "Edges frozen per re-solve"
+            )
+            self._m_inflight = registry.gauge(
+                "network.flows_in_flight", "Active flows after a settle"
+            )
+        else:
+            self._m_resolves = None
+            self._m_flowset = None
+            self._m_touched = None
+            self._m_waterfill = None
+            self._m_saturated = None
+            self._m_inflight = None
 
     # ------------------------------------------------------------------
     # public API
@@ -193,6 +223,8 @@ class FlowNetwork:
         if not self._dirty:
             self._dirty = True
             self.engine.schedule(0.0, self._settle)
+            if self._m_flowset is not None:
+                self._m_flowset.value += 1
 
     def _advance_progress(self) -> None:
         """Account bytes moved since the last rate change."""
@@ -216,6 +248,9 @@ class FlowNetwork:
         self._dirty = False
         self._advance_progress()
         self._complete_finished()
+        if self._m_resolves is not None:
+            self._m_resolves.value += 1
+            self._m_inflight.value = len(self._flows)
         if not self._flows:
             return
         self._allocate_max_min()
@@ -278,10 +313,12 @@ class FlowNetwork:
         available: Dict[Edge, float] = {}
         injector = self.injector
         now = self.engine.now
+        touched = 0
         for e, fids in self._edge_flows.items():
             n = len(fids)
             if n == 0:
                 continue
+            touched += n
             largest = max(self._flows[fid].size for fid in fids)
             unfrozen_count[e] = n
             capacity = params.effective_capacity(
@@ -298,7 +335,9 @@ class FlowNetwork:
         for flow in self._flows.values():
             flow.rate = 0.0
         remaining_flows = len(self._flows)
+        iterations = 0
         while remaining_flows > 0:
+            iterations += 1
             # Find the tightest edge.
             best_edge: Optional[Edge] = None
             best_share = float("inf")
@@ -325,3 +364,8 @@ class FlowNetwork:
                     unfrozen_count[e] -= 1
                     available[e] -= best_share
             unfrozen_count[best_edge] = 0
+        if self._m_waterfill is not None:
+            self._m_touched.observe(touched)
+            self._m_waterfill.observe(iterations)
+            # Each filling round saturates (freezes) exactly one edge.
+            self._m_saturated.observe(iterations)

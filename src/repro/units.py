@@ -75,6 +75,29 @@ def format_size(nbytes: int) -> str:
     return f"{nbytes}B"
 
 
+def format_duration(t: float) -> str:
+    """Render a time in seconds with an auto-picked unit (ns/us/ms/s).
+
+    Used by the report comparators and the live monitor so durations
+    read as ``1.23ms`` rather than ``0.00123``.
+    """
+    a = abs(t)
+    if a == 0.0:
+        return "0s"
+    if a < 1e-6:
+        return f"{t * 1e9:.0f}ns"
+    if a < 1e-3:
+        return f"{t * 1e6:.2f}us"
+    if a < 1.0:
+        return f"{t * 1e3:.3f}ms"
+    return f"{t:.3f}s"
+
+
+def format_duration_ms(t_ms: float) -> str:
+    """Render a time in milliseconds with an auto-picked unit."""
+    return format_duration(t_ms * 1e-3)
+
+
 def parse_size(text: str) -> int:
     """Parse ``"64KB"``/``"1MB"``/``"512"`` style size strings to bytes."""
     s = text.strip().upper()

@@ -1,0 +1,144 @@
+"""Ledger dashboard: structure, self-containment, grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.ledger import AlgorithmEntry, RunRecord
+
+
+def _stats(scale: int):
+    return {
+        "schema": 1,
+        "repro_version": "0",
+        "wall_time_s": 0.01 * scale,
+        "counters": {
+            "engine.events_total": 200.0 * scale,
+            "network.resolves_total": 60.0 * scale,
+            "network.flow_set_changes": 30.0 * scale,
+            "mpi.syncs_posted": 21.0,
+            "mpi.syncs_retired": 21.0,
+            "mpi.retransmits": 0.0,
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def _attribution(scale: int):
+    return {
+        "components_ms": {
+            "protocol_efficiency": 0.2 * scale,
+            "startup": 0.1,
+            "sync_wait": 0.3 * scale,
+            "contention": 0.05,
+            "fault": 0.0,
+            "residual": 0.02,
+        }
+    }
+
+
+def _record(i: int, fingerprint: str, algorithms):
+    return RunRecord(
+        run_id=f"run-{fingerprint}-{i}",
+        timestamp=f"2026-08-0{i}T00:00:00Z",
+        command="simulate",
+        topology_spec="two-switch.topo",
+        topology_fingerprint=fingerprint,
+        num_machines=6,
+        msize=65536,
+        params={},
+        algorithms={
+            name: AlgorithmEntry(
+                completion_time_ms=10.0 + i + j,
+                scheduler_runtime_ms=1.0 + 0.1 * i if j == 0 else None,
+                attribution=_attribution(i) if j == 0 else None,
+                stats=_stats(i + j),
+            )
+            for j, name in enumerate(algorithms)
+        },
+    )
+
+
+@pytest.fixture
+def records():
+    return [
+        _record(1, "fp-aaaa", ["generated", "pairwise"]),
+        _record(2, "fp-aaaa", ["generated", "pairwise"]),
+        _record(3, "fp-aaaa", ["generated", "pairwise"]),
+        _record(1, "fp-bbbb", ["generated"]),
+    ]
+
+
+class TestRenderDashboard:
+    def test_self_contained(self, records):
+        html = render_dashboard(records)
+        for forbidden in ("<script src=", "<link ", "fetch(", "http://",
+                          "https://", "@import", "url("):
+            assert forbidden not in html, forbidden
+
+    def test_no_unsubstituted_tokens(self, records):
+        html = render_dashboard(records, title="My runs")
+        assert "__TITLE__" not in html
+        assert "__BODY__" not in html
+        assert "{{" not in html and "}}" not in html
+        assert "My runs" in html
+
+    def test_groups_by_topology_fingerprint(self, records):
+        html = render_dashboard(records)
+        assert "fp-aaaa" in html
+        assert "fp-bbbb" in html
+        assert html.count("<section") == 2
+
+    def test_charts_and_interaction_layers_present(self, records):
+        html = render_dashboard(records)
+        assert html.count("<svg") >= 4
+        assert "data-tip" in html  # hover tooltips
+        assert "legend" in html  # >= 2 series need a legend
+        assert "Data table" in html  # table view
+        assert "prefers-color-scheme" in html  # dark mode
+
+    def test_attribution_and_counter_sections(self, records):
+        html = render_dashboard(records)
+        assert "attribution" in html.lower()
+        assert "engine.events_total" in html
+        assert "sync_wait" in html
+
+    def test_title_is_escaped(self, records):
+        html = render_dashboard(records, title="<b>&")
+        assert "<b>&" not in html
+        assert "&lt;b&gt;&amp;" in html
+
+    def test_empty_ledger_renders(self):
+        html = render_dashboard([])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "0 record(s)" in html
+
+    def test_records_without_stats_or_attribution(self):
+        bare = RunRecord(
+            run_id="r", timestamp="t", command="simulate",
+            topology_spec="x", topology_fingerprint="fp", num_machines=2,
+            msize=None, params={},
+            algorithms={"lam": AlgorithmEntry(completion_time_ms=5.0)},
+        )
+        html = render_dashboard([bare])
+        assert "<svg" in html  # completion chart still renders
+
+    def test_svg_geometry_is_finite(self, records):
+        import re
+
+        html = render_dashboard(records)
+        for m in re.finditer(r"points='([^']*)'", html):
+            for token in m.group(1).split():
+                x, y = token.split(",")
+                assert float(x) == float(x)  # not NaN
+                assert float(y) == float(y)
+        assert "NaN" not in html and "Infinity" not in html
+
+
+def test_write_dashboard(tmp_path, records):
+    path = str(tmp_path / "dash.html")
+    write_dashboard(records, path, title="T")
+    text = open(path, encoding="utf-8").read()
+    assert text == render_dashboard(records, title="T")

@@ -1,0 +1,202 @@
+"""Live run monitor: periodic snapshots, executor wiring, top table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.obs.metrics_registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.monitor import MonitorConfig, RunMonitor, render_top_table
+from repro.sim.executor import run_programs
+from repro.topology.builder import paper_example_cluster
+
+
+def _run(monitor, *, registry=None, telemetry=False, params=None):
+    from repro.sim.params import NetworkParams
+
+    topo = paper_example_cluster()
+    algorithm = get_algorithm("generated")
+    params = params or NetworkParams().without_noise()
+    if registry is not None:
+        with registry.activate():
+            programs = algorithm.build_programs(topo, 16384)
+            return run_programs(
+                topo, programs, 16384, params,
+                monitor=monitor, telemetry=telemetry,
+            )
+    programs = algorithm.build_programs(topo, 16384)
+    return run_programs(
+        topo, programs, 16384, params, monitor=monitor, telemetry=telemetry
+    )
+
+
+class TestMonitorConfig:
+    def test_rejects_non_positive_intervals(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(sim_tick=-1.0)
+
+    def test_defaults(self):
+        config = MonitorConfig()
+        assert config.interval == 0.5
+        assert config.sim_tick == 0.001
+        assert config.on_snapshot is None
+
+
+class TestExecutorWiring:
+    def test_final_snapshot_always_emitted(self):
+        """Even a run shorter than the interval emits the end snapshot."""
+        seen = []
+        _run(MonitorConfig(interval=3600.0, on_snapshot=seen.append))
+        assert len(seen) == 1
+        assert seen[0].monitor["progress"] == 1.0
+        assert seen[0].monitor["eta_s"] == 0.0
+
+    def test_tiny_interval_emits_many_snapshots(self):
+        seen = []
+        _run(MonitorConfig(interval=1e-9, on_snapshot=seen.append))
+        assert len(seen) > 1
+        # sim_time is monotone across snapshots
+        times = [s.monitor["sim_time"] for s in seen]
+        assert times == sorted(times)
+
+    def test_snapshot_context_fields(self):
+        seen = []
+        _run(MonitorConfig(interval=3600.0, on_snapshot=seen.append))
+        mon = seen[0].monitor
+        for key in (
+            "sim_time", "events_total", "events_per_sec",
+            "sim_wall_ratio", "flows_in_flight", "progress",
+        ):
+            assert key in mon, key
+
+    def test_registry_instruments_land_in_snapshots(self):
+        seen = []
+        registry = MetricsRegistry()
+        _run(
+            MonitorConfig(interval=1e-9, on_snapshot=seen.append),
+            registry=registry,
+        )
+        final = seen[-1]
+        assert final.counters["engine.events_total"] > 0
+        assert final.counters["mpi.syncs_posted"] > 0
+
+    def test_without_registry_snapshots_carry_monitor_only(self):
+        seen = []
+        _run(MonitorConfig(interval=3600.0, on_snapshot=seen.append))
+        assert seen[0].counters == {}
+        assert seen[0].monitor["events_total"] > 0
+
+    def test_monitor_events_counted_by_engine_counter(self):
+        """Conservation holds with the monitor on: the registry counter
+        still equals the engine's own count (monitor ticks included)."""
+        registry = MetricsRegistry()
+        result = _run(MonitorConfig(interval=3600.0), registry=registry)
+        assert registry.get("engine.events_total") == result.events_processed
+
+    def test_snapshots_published_on_bus(self):
+        seen = []
+        result = _run(
+            MonitorConfig(interval=3600.0), telemetry=True
+        )
+        # telemetry=True means a bus existed; the monitor emits its
+        # final snapshot before the bundle is assembled, so the engine
+        # stats already include the monitor's tick events.
+        assert result.telemetry is not None
+
+
+class TestRunMonitorDirect:
+    def test_stop_prevents_rescheduling(self):
+        from repro.sim.engine import Engine
+
+        class _Net:
+            active_flows = 0
+
+        engine = Engine()
+        monitor = RunMonitor(engine, _Net(), MonitorConfig(interval=1e-9))
+        monitor.start()
+        monitor.stop()
+        engine.run()
+        # the single pending check returns without rescheduling
+        assert engine.events_processed == 1
+        assert monitor.snapshots_emitted == 0
+
+    def test_all_done_drains_heap(self):
+        from repro.sim.engine import Engine
+
+        class _Net:
+            active_flows = 0
+
+        engine = Engine()
+        done = [False]
+        monitor = RunMonitor(
+            engine, _Net(), MonitorConfig(interval=3600.0),
+            all_done=lambda: done[0],
+        )
+        monitor.start()
+        engine.schedule(0.0025, lambda: done.__setitem__(0, True))
+        engine.run()  # would never terminate if the monitor kept ticking
+
+    def test_emit_publishes_on_bus(self):
+        from repro.obs.bus import EventBus
+        from repro.sim.engine import Engine
+
+        class _Net:
+            active_flows = 2
+
+        bus = EventBus()
+        got = []
+        bus.subscribe(MetricsSnapshot, got.append)
+        monitor = RunMonitor(
+            Engine(), _Net(), MonitorConfig(interval=3600.0), bus=bus
+        )
+        snapshot = monitor.emit()
+        assert got == [snapshot]
+        assert snapshot.monitor["flows_in_flight"] == 2.0
+        assert monitor.snapshots_emitted == 1
+
+
+class TestTopTable:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("mpi.syncs_posted").inc(21)
+        registry.counter("mpi.syncs_retired").inc(21)
+        registry.counter("network.resolves_total").inc(60)
+        registry.counter("engine.events_total").inc(917)
+        return registry.snapshot(
+            sim_time=0.0697, events_total=917.0, events_per_sec=120000.0,
+            sim_wall_ratio=14.2, flows_in_flight=3.0,
+            progress=0.5, eta_s=1.25,
+        )
+
+    def test_renders_all_rows(self):
+        lines = render_top_table(self._snapshot(), title="demo run")
+        text = "\n".join(lines)
+        assert lines[0] == "demo run"
+        assert "sim time" in text and "69.700ms" in text
+        assert "events" in text and "917" in text
+        assert "events/s" in text and "120,000" in text
+        assert "sim/wall" in text and "14.2x" in text
+        assert "syncs posted/retired" in text and "21/21" in text
+        assert "max-min re-solves" in text and "60" in text
+        assert "progress" in text and "50.0%" in text and "ETA" in text
+
+    def test_columns_align(self):
+        import re
+
+        lines = render_top_table(self._snapshot())
+        # every row is "  label<pad>  value" with one shared label width
+        parsed = []
+        for line in lines:
+            m = re.match(r"^  (\S(?:.*?\S)?)\s{2,}", line)
+            assert m, line
+            parsed.append((m.group(1), line))
+        width = max(len(label) for label, _ in parsed)
+        for label, line in parsed:
+            assert line.startswith(f"  {label:<{width}s}  ")
+
+    def test_bare_snapshot_renders(self):
+        lines = render_top_table(MetricsSnapshot())
+        assert any("sim time" in line for line in lines)
+        assert not any("syncs" in line for line in lines)

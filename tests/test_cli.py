@@ -645,3 +645,138 @@ class TestExplainCommand:
              "--no-noise", "--no-ledger"]
         ) == 0
         assert "dominant component: contention" in capsys.readouterr().out
+
+
+class TestObservatory:
+    """Scale-observatory commands: --stats-out, top, dash, --trace-cap."""
+
+    def test_simulate_stats_out_writes_snapshots(self, tmp_path, capsys):
+        from repro.obs.metrics_registry import load_snapshots
+
+        stats = str(tmp_path / "stats.jsonl")
+        assert main(
+            ["simulate", "fig1", "--algorithm", "lam", "--msize", "8KB",
+             "--stats-out", stats]
+        ) == 0
+        assert "wrote metrics snapshots" in capsys.readouterr().out
+        snapshots = load_snapshots(stats)
+        assert snapshots, "at least the final snapshot"
+        final = snapshots[-1]
+        assert final.counters["engine.events_total"] > 0
+        assert final.monitor["progress"] == 1.0
+
+    def test_simulate_stats_out_derives_per_algorithm_paths(self, tmp_path):
+        from repro.obs.metrics_registry import load_snapshots
+
+        stats = str(tmp_path / "stats.jsonl")
+        assert main(
+            ["simulate", "fig1", "--algorithms", "lam", "generated",
+             "--msize", "8KB", "--stats-out", stats]
+        ) == 0
+        for name in ("lam", "generated"):
+            assert load_snapshots(str(tmp_path / f"stats-{name}.jsonl"))
+
+    def test_simulate_stats_land_in_ledger_and_metrics_json(self, tmp_path):
+        import json
+
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = str(tmp_path / "led")
+        metrics = str(tmp_path / "metrics.json")
+        assert main(
+            ["simulate", "fig1", "--algorithm", "generated", "--msize",
+             "8KB", "--ledger-dir", ledger_dir,
+             "--metrics-out", metrics]
+        ) == 0
+        (record,) = RunLedger(ledger_dir).records()
+        stats = record.algorithms["generated"].stats
+        assert stats["schema"] == 1
+        assert stats["counters"]["engine.events_total"] > 0
+        with open(metrics) as fh:
+            assert json.load(fh)["stats"]["counters"]["engine.events_total"]
+
+    def test_top_no_tty(self, tmp_path, capsys):
+        from repro.obs.metrics_registry import load_snapshots
+
+        stats = str(tmp_path / "top.jsonl")
+        assert main(
+            ["top", "examples/two-switch.topo", "--algorithm", "generated",
+             "--msize", "8KB", "--no-tty", "--stats-out", stats]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sim time" in out
+        assert "progress" in out
+        assert "completed in" in out
+        assert load_snapshots(stats)
+
+    def test_dash_writes_self_contained_html(self, tmp_path, capsys):
+        ledger_dir = str(tmp_path / "led")
+        out = str(tmp_path / "dash.html")
+        assert main(
+            ["simulate", "fig1", "--msize", "8KB",
+             "--ledger-dir", ledger_dir]
+        ) == 0
+        assert main(["dash", "--ledger-dir", ledger_dir, "-o", out]) == 0
+        assert "dash.html" in capsys.readouterr().out
+        html = open(out, encoding="utf-8").read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        for forbidden in ("<script src=", "<link ", "fetch("):
+            assert forbidden not in html
+
+    def test_dash_empty_ledger_warns(self, tmp_path, capsys):
+        out = str(tmp_path / "dash.html")
+        assert main(
+            ["dash", "--ledger-dir", str(tmp_path / "empty"), "-o", out]
+        ) == 0
+        assert "empty" in capsys.readouterr().err
+        assert open(out, encoding="utf-8").read().startswith("<!DOCTYPE")
+
+    def test_trace_cap_accepted_everywhere(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        assert main(
+            ["simulate", "fig1", "--algorithm", "lam", "--msize", "8KB",
+             "--trace-cap", "50", "--trace-out", trace]
+        ) == 0
+        assert main(
+            ["trace", "fig1", "--algorithm", "lam", "--msize", "8KB",
+             "--trace-cap", "50",
+             "-o", str(tmp_path / "t2.json")]
+        ) == 0
+        capsys.readouterr()
+
+
+class TestLoggingIdempotent:
+    def test_repeated_verbose_runs_log_once(self, capsys):
+        """Nested/repeated CLI invocations must not stack log handlers."""
+        import logging
+
+        root = logging.getLogger("repro")
+        saved = (root.handlers[:], root.propagate, root.level)
+        # Drop handlers from earlier tests (bound to stale capture
+        # streams) and simulate a host app that configured root logging.
+        for handler in root.handlers[:]:
+            root.removeHandler(handler)
+        probe_root = logging.StreamHandler()
+        logging.getLogger().addHandler(probe_root)
+        try:
+            assert main(["analyze", "fig1", "-v"]) == 0
+            assert main(["analyze", "fig1", "-v"]) == 0
+            ours = [
+                h for h in root.handlers
+                if getattr(h, "_repro_cli", False)
+            ]
+            assert len(ours) == 1
+            assert root.propagate is False
+            capsys.readouterr()
+            logging.getLogger("repro.probe").info("once-only probe")
+            err = capsys.readouterr().err
+            assert err.count("once-only probe") == 1
+        finally:
+            logging.getLogger().removeHandler(probe_root)
+            for handler in root.handlers[:]:
+                root.removeHandler(handler)
+            for handler in saved[0]:
+                root.addHandler(handler)
+            root.propagate = saved[1]
+            root.level = saved[2]
