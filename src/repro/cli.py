@@ -885,8 +885,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"{len(plans)} plan(s) x {len(args.algorithms)} algorithm(s)"
     )
     header = (
-        f"{'plan':<16} {'algorithm':<12} {'baseline':>9} {'faulted':>9} "
-        f"{'slowdown':>8} {'rexmit':>6} {'recov':>5}  outcome"
+        f"{'plan':<16} {'algorithm':<12} {'baseline':>9} {'wasted':>8} "
+        f"{'runtime':>9} {'slowdown':>8} {'rexmit':>6} {'recov':>5}  outcome"
     )
     print(header)
     print("-" * len(header))
@@ -911,7 +911,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "completed": res.completed,
                 "algorithm_used": res.algorithm_used,
                 "baseline_ms": base * 1e3,
+                "wasted_ms": res.wasted_time * 1e3,
                 "decisions": res.decisions_dict(),
+                "repairs": res.repairs_dict(),
             }
             if res.diagnosis is not None:
                 row["diagnosis"] = res.diagnosis.as_dict()
@@ -923,35 +925,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 recovered = stats.get("sync_retransmits", 0) - stats.get(
                     "syncs_abandoned", 0
                 ) * params.sync_max_retries
-                slowdown = result.completion_time / base if base > 0 else 0.0
-                outcome = (
-                    f"fell-back({res.algorithm_used})"
-                    if res.fell_back
-                    else "ok"
-                )
+                # True cost of the run = stall time wasted on abandoned
+                # attempts + the completing run itself.
+                slowdown = res.total_time / base if base > 0 else 0.0
+                if res.repaired:
+                    tier = next(r.tier for r in res.repairs if r.succeeded)
+                    outcome = (
+                        "repaired" if tier == "repair" else "repaired-relaxed"
+                    )
+                elif res.fell_back:
+                    outcome = f"fell-back({res.algorithm_used})"
+                else:
+                    outcome = "ok"
                 if result.crashed_ranks:
                     outcome += f" crashed={len(result.crashed_ranks)}"
                 print(
                     f"{plan.name:<16} {name:<12} "
-                    f"{base * 1e3:8.2f}m {result.completion_time * 1e3:8.2f}m "
+                    f"{base * 1e3:8.2f}m {res.wasted_time * 1e3:7.2f}m "
+                    f"{result.completion_time * 1e3:8.2f}m "
                     f"{slowdown:7.2f}x {stats.get('sync_retransmits', 0):>6} "
                     f"{max(0, recovered):>5}  {outcome}"
                 )
                 row.update(
                     faulted_ms=result.completion_time * 1e3,
+                    runtime_ms=result.completion_time * 1e3,
+                    total_ms=res.total_time * 1e3,
                     slowdown=slowdown,
+                    outcome=outcome,
                     fault_stats=stats,
                     crashed_ranks=list(result.crashed_ranks),
                 )
                 entries[f"{name}@{plan.name}"] = AlgorithmEntry(
-                    completion_time_ms=result.completion_time * 1e3,
-                    telemetry={"fault_stats": stats, "slowdown": slowdown},
+                    completion_time_ms=res.total_time * 1e3,
+                    telemetry={
+                        "fault_stats": stats,
+                        "slowdown": slowdown,
+                        "wasted_ms": res.wasted_time * 1e3,
+                        "runtime_ms": result.completion_time * 1e3,
+                        "outcome": outcome,
+                        "repairs": res.repairs_dict(),
+                        "decisions": res.decisions_dict(),
+                    },
                 )
             else:
                 unrecoverable += 1
+                row["outcome"] = "unrecoverable"
                 print(
                     f"{plan.name:<16} {name:<12} {base * 1e3:8.2f}m "
-                    f"{'--':>9} {'--':>8} {'--':>6} {'--':>5}  UNRECOVERABLE"
+                    f"{'--':>8} {'--':>9} {'--':>8} {'--':>6} {'--':>5}  "
+                    "UNRECOVERABLE"
                 )
             artifact["results"].append(row)
 

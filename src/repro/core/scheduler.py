@@ -19,7 +19,16 @@ messages in a single phase over the duplex link.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import SchedulingError
 from repro.obs.metrics_registry import metric_inc, metric_observe
@@ -105,6 +114,136 @@ def schedule_aapc(
         if verify:
             with pipeline_span("verify_schedule"):
                 verify_schedule(schedule)
+        return schedule
+
+
+def schedule_pairs(
+    topology: Topology,
+    pending: Sequence[Message],
+    *,
+    template: Optional[PhasedSchedule] = None,
+    oracle: Optional[PathOracle] = None,
+    compact: bool = False,
+    forbidden_edges: AbstractSet[FrozenSet[str]] = frozenset(),
+    verify: bool = True,
+) -> PhasedSchedule:
+    """Phase-partition an arbitrary pair set (the repair entry point).
+
+    Unlike :func:`schedule_aapc`, which always schedules the full AAPC
+    pattern, this packs exactly the *pending* messages into
+    contention-free phases with a greedy earliest-fit placement.  Two
+    properties make it usable for incremental schedule repair
+    (:mod:`repro.faults.repair`):
+
+    * **Hint seeding.**  When *template* is given, each message first
+      tries the phase the template assigned it.  With the full pattern
+      pending, every hint slot is feasible (the template phase was
+      contention free), so the repacking reproduces the template exactly
+      — including its optimal phase count.
+    * **Compaction.**  With ``compact=True`` hints only order the
+      placement; each message lands in its earliest feasible phase, so
+      a residual pair set (mid-run resume) packs into fewer phases than
+      the template's tail.
+
+    *forbidden_edges* are physical links (as ``frozenset({u, v})``) no
+    scheduled path may use — a dead link makes its pairs unschedulable
+    and raises :class:`SchedulingError`.
+    """
+    with pipeline_span("schedule_pairs"):
+        if not topology.validated:
+            topology.validate()
+        if oracle is None:
+            oracle = PathOracle(topology)
+
+        hints: Dict[Message, int] = {}
+        kinds: Dict[Message, Tuple[MessageKind, Tuple[int, int]]] = {}
+        if template is not None:
+            for sm in template.all_messages():
+                hints[sm.message] = sm.phase
+                kinds[sm.message] = (sm.kind, sm.group)
+
+        order = sorted(pending, key=lambda m: (hints.get(m, 1 << 30), m))
+        if len(set(order)) != len(order):
+            raise SchedulingError("pending pair set contains duplicates")
+
+        # Per phase: directed edges in use, plus sender/receiver sets
+        # (endpoint discipline, also implied by the duplex machine link).
+        used: List[Set[Tuple[str, str]]] = []
+        senders: List[Set[str]] = []
+        receivers: List[Set[str]] = []
+        placed: List[List[Message]] = []
+
+        def fits(p: int, msg: Message, edges) -> bool:
+            if msg.src in senders[p] or msg.dst in receivers[p]:
+                return False
+            return not any(e in used[p] for e in edges)
+
+        def put(p: int, msg: Message, edges) -> None:
+            placed[p].append(msg)
+            senders[p].add(msg.src)
+            receivers[p].add(msg.dst)
+            used[p].update(edges)
+
+        def grow() -> int:
+            used.append(set())
+            senders.append(set())
+            receivers.append(set())
+            placed.append([])
+            return len(placed) - 1
+
+        rescheduled = 0
+        for msg in order:
+            edges = oracle.path_edges(msg.src, msg.dst)
+            for u, v in edges:
+                if frozenset((u, v)) in forbidden_edges:
+                    raise SchedulingError(
+                        f"pair {msg} requires dead link {u}<->{v}; "
+                        "no schedule can carry it"
+                    )
+            hint = hints.get(msg)
+            target: Optional[int] = None
+            if not compact and hint is not None:
+                while len(placed) <= hint:
+                    grow()
+                if fits(hint, msg, edges):
+                    target = hint
+            if target is None:
+                for p in range(len(placed)):
+                    if fits(p, msg, edges):
+                        target = p
+                        break
+                else:
+                    target = grow()
+            put(target, msg, edges)
+            if hint is None or target != hint:
+                rescheduled += 1
+
+        # Hint mode may have grown empty phases past the last placement.
+        while placed and not placed[-1]:
+            placed.pop()
+
+        schedule = PhasedSchedule(topology, len(placed))
+        for p, msgs in enumerate(placed):
+            for msg in msgs:
+                kind, group = kinds.get(msg, (MessageKind.LOCAL, (-1, -1)))
+                schedule.add(p, msg, kind, group)
+
+        metric_inc("scheduler.pair_repacks")
+        metric_observe("scheduler.pairs_repacked", len(order))
+        add_counters(
+            phases=schedule.num_phases,
+            messages=len(schedule),
+            rescheduled=rescheduled,
+        )
+        if verify:
+            from repro.core.verify import verify_schedule_for_pairs
+
+            verify_schedule_for_pairs(
+                schedule,
+                set(pending),
+                oracle=oracle,
+                forbidden_edges=forbidden_edges,
+            )
         return schedule
 
 

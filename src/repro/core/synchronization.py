@@ -31,8 +31,8 @@ Implementation notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulingError
 from repro.obs.profiling import add_counters, pipeline_span
@@ -168,6 +168,31 @@ def build_sync_plan(
         syncs = [SyncMessage(messages[a], messages[b]) for a, b in kept]
         syncs.sort(key=lambda s: (s.after.phase, s.before.phase, s.after.src))
         return SyncPlan(schedule=schedule, syncs=syncs, stats=stats)
+
+
+def split_sync_plan(
+    plan: SyncPlan,
+    deliverable: Callable[[SyncMessage], bool],
+) -> Tuple[SyncPlan, List[SyncMessage]]:
+    """Partition a sync plan into deliverable syncs and dropped ones.
+
+    The relaxed repair tier (:mod:`repro.faults.repair`) runs a schedule
+    whose sync plan omits control messages a degraded topology cannot
+    deliver (e.g. any sync whose path crosses a permanently failed
+    link).  Dropping a sync removes both its ``SYNC_SEND`` and its
+    ``SYNC_RECV`` from the lowered programs — they stay statically valid
+    — but leaves the corresponding conflicting pair unordered, i.e. the
+    schedule may serialize on the shared link instead of staying
+    contention free.  The caller is responsible for bounding that cost.
+
+    Returns ``(kept_plan, dropped)``; ``kept_plan`` shares the schedule
+    and carries stats whose ``num_after_reduction`` reflects the kept
+    set, so downstream accounting stays consistent.
+    """
+    kept = [s for s in plan.syncs if deliverable(s)]
+    dropped = [s for s in plan.syncs if not deliverable(s)]
+    stats = replace(plan.stats, num_after_reduction=len(kept))
+    return SyncPlan(schedule=plan.schedule, syncs=kept, stats=stats), dropped
 
 
 # ----------------------------------------------------------------------

@@ -19,10 +19,10 @@ pipeline independently of the two-level-view arguments used to build it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import VerificationError
-from repro.core.pattern import aapc_message_set
+from repro.core.pattern import Message, aapc_message_set
 from repro.core.schedule import PhasedSchedule
 from repro.topology.analysis import aapc_load
 from repro.topology.graph import Edge, Topology
@@ -122,6 +122,56 @@ def verify_schedule(
     verify_endpoint_discipline(schedule)
     verify_contention_free(schedule, oracle)
     verify_phase_count(schedule)
+
+
+def verify_schedule_for_pairs(
+    schedule: PhasedSchedule,
+    pairs: Set[Message],
+    oracle: Optional[PathOracle] = None,
+    *,
+    forbidden_edges: AbstractSet[FrozenSet[str]] = frozenset(),
+) -> None:
+    """Verify a schedule that realises an arbitrary pair set.
+
+    The repair path (:mod:`repro.faults.repair`) re-partitions a
+    *residual* pair set rather than the full AAPC pattern, so the
+    full-pattern completeness and phase-count-optimality checks do not
+    apply.  What must still hold on the degraded topology:
+
+    * completeness against *pairs* — each exactly once, nothing extra;
+    * endpoint discipline — one send, one receive per machine per phase;
+    * contention freedom on the surviving links;
+    * no scheduled path crosses a *forbidden* (dead) link.
+    """
+    scheduled = [sm.message for sm in schedule.all_messages()]
+    seen = set(scheduled)
+    if len(scheduled) != len(seen):
+        dupes = sorted({str(m) for m in scheduled if scheduled.count(m) > 1})
+        raise VerificationError(f"duplicated messages: {dupes}")
+    missing = pairs - seen
+    if missing:
+        raise VerificationError(
+            f"missing {len(missing)} pending pair(s), e.g. "
+            f"{sorted(str(m) for m in list(missing)[:5])}"
+        )
+    extra = seen - pairs
+    if extra:
+        raise VerificationError(
+            f"non-pending messages scheduled: "
+            f"{sorted(str(m) for m in extra)[:5]}"
+        )
+    verify_endpoint_discipline(schedule)
+    if oracle is None:
+        oracle = PathOracle(schedule.topology)
+    verify_contention_free(schedule, oracle)
+    if forbidden_edges:
+        for sm in schedule.all_messages():
+            for u, v in oracle.path_edges(sm.src, sm.dst):
+                if frozenset((u, v)) in forbidden_edges:
+                    raise VerificationError(
+                        f"message {sm.message} (phase {sm.phase}) crosses "
+                        f"dead link {u}<->{v}"
+                    )
 
 
 def max_edge_concurrency(

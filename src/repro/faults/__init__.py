@@ -2,14 +2,16 @@
 
 Declarative, seeded chaos plans (:mod:`repro.faults.plan`), the runtime
 oracle the simulator consults (:mod:`repro.faults.injector`), the
-no-progress watchdog (:mod:`repro.faults.watchdog`) and the graceful
-fallback policy (:mod:`repro.faults.runtime`).  See docs/robustness.md.
+no-progress watchdog (:mod:`repro.faults.watchdog`), self-healing
+schedule repair (:mod:`repro.faults.repair`) and the tiered recovery
+policy (:mod:`repro.faults.runtime`).  See docs/robustness.md.
 """
 
 from repro.faults.events import (
     FallbackDecision,
     FaultWindow,
     RankCrashed,
+    RepairDecision,
     SyncAbandoned,
     SyncDisrupted,
     SyncRetransmit,
@@ -24,10 +26,17 @@ from repro.faults.plan import (
     SyncFault,
     load_fault_plan,
 )
+from repro.faults.repair import (
+    RELAX_CONTENTION_BUDGET,
+    RepairResult,
+    plan_threatens_schedule,
+    repair_schedule,
+)
 from repro.faults.runtime import (
     FaultAssessment,
     ResilientResult,
     assess_fault_plan,
+    choose_fallback,
     fallback_algorithm,
     run_resilient,
 )
@@ -41,6 +50,7 @@ from repro.faults.watchdog import (
 
 __all__ = [
     "FOREVER",
+    "RELAX_CONTENTION_BUDGET",
     "BlockedRank",
     "FallbackDecision",
     "FaultAssessment",
@@ -53,6 +63,8 @@ __all__ = [
     "PendingSyncEdge",
     "RankCrash",
     "RankCrashed",
+    "RepairDecision",
+    "RepairResult",
     "ResilientResult",
     "StallDiagnosis",
     "StallWatchdog",
@@ -62,7 +74,10 @@ __all__ = [
     "SyncRetransmit",
     "WatchdogConfig",
     "assess_fault_plan",
+    "choose_fallback",
     "fallback_algorithm",
     "load_fault_plan",
+    "plan_threatens_schedule",
+    "repair_schedule",
     "run_resilient",
 ]

@@ -9,7 +9,7 @@ so the obs stack consumes them without :mod:`repro.obs` ever importing
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -85,3 +85,101 @@ class FallbackDecision:
     from_algorithm: str
     to_algorithm: str
     reason: str
+    #: Simulated seconds already burnt by the abandoned attempt.  A
+    #: mid-run fallback restarts the collective from t=0, so the run's
+    #: true cost is ``wasted_time + fallback runtime`` — the chaos table
+    #: and ledger record both halves explicitly.
+    wasted_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "stage": self.stage,
+            "from": self.from_algorithm,
+            "to": self.to_algorithm,
+            "reason": self.reason,
+            "wasted_time": self.wasted_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FallbackDecision":
+        return cls(
+            time=float(data["time"]),
+            stage=str(data["stage"]),
+            from_algorithm=str(data["from"]),
+            to_algorithm=str(data["to"]),
+            reason=str(data["reason"]),
+            wasted_time=float(data.get("wasted_time", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class RepairDecision:
+    """One schedule-repair attempt by the resilient runtime.
+
+    The three-tier recovery policy records a decision per tier it
+    tries: ``tier`` is ``"repair"`` (strict — the repaired schedule is
+    contention free and every sync is deliverable on the degraded
+    topology) or ``"repair-relaxed"`` (undeliverable syncs dropped with
+    a bounded predicted serialization cost).  Failed attempts carry the
+    rejection reason; the pairwise/ring fallback that follows a failed
+    repair is still a :class:`FallbackDecision`.
+    """
+
+    time: float
+    #: "pre-run" | "mid-run"
+    stage: str
+    #: "repair" | "repair-relaxed"
+    tier: str
+    succeeded: bool
+    reason: str
+    #: Phase counts of the original schedule and the repaired one.
+    phases_before: int = 0
+    phases_after: int = 0
+    #: Phases whose message content differs from the original schedule.
+    phases_rewritten: int = 0
+    #: Messages placed in a different phase than the original schedule.
+    pairs_rescheduled: int = 0
+    #: Pairs already delivered before the repair (mid-run resume).
+    pairs_completed: int = 0
+    #: Sync-plan size of the repaired schedule, and how many syncs the
+    #: relaxed tier dropped as undeliverable.
+    syncs_total: int = 0
+    syncs_dropped: int = 0
+    #: Predicted serialization cost (seconds) of the dropped syncs.
+    predicted_cost: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "stage": self.stage,
+            "tier": self.tier,
+            "succeeded": self.succeeded,
+            "reason": self.reason,
+            "phases_before": self.phases_before,
+            "phases_after": self.phases_after,
+            "phases_rewritten": self.phases_rewritten,
+            "pairs_rescheduled": self.pairs_rescheduled,
+            "pairs_completed": self.pairs_completed,
+            "syncs_total": self.syncs_total,
+            "syncs_dropped": self.syncs_dropped,
+            "predicted_cost": self.predicted_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RepairDecision":
+        return cls(
+            time=float(data["time"]),
+            stage=str(data["stage"]),
+            tier=str(data["tier"]),
+            succeeded=bool(data["succeeded"]),
+            reason=str(data["reason"]),
+            phases_before=int(data.get("phases_before", 0)),
+            phases_after=int(data.get("phases_after", 0)),
+            phases_rewritten=int(data.get("phases_rewritten", 0)),
+            pairs_rescheduled=int(data.get("pairs_rescheduled", 0)),
+            pairs_completed=int(data.get("pairs_completed", 0)),
+            syncs_total=int(data.get("syncs_total", 0)),
+            syncs_dropped=int(data.get("syncs_dropped", 0)),
+            predicted_cost=float(data.get("predicted_cost", 0.0)),
+        )

@@ -166,6 +166,49 @@ class FaultInjector:
     def boundaries(self) -> List[float]:
         return self.plan.boundaries()
 
+    def link_factor_floor(self, edge: Edge) -> float:
+        """Worst bandwidth multiplier *edge* ever sees under the plan.
+
+        The capacity floor over all declared windows (1.0 = never
+        faulted) — what repair cost models must assume when predicting
+        serialization on a degraded link.
+        """
+        faults = self._link_faults.get(edge)
+        if not faults:
+            return 1.0
+        return min(1.0, *(lf.bandwidth_factor for lf in faults))
+
+    def path_factor_floor(self, src: str, dst: str) -> float:
+        """Worst capacity multiplier along the src→dst path."""
+        if self.oracle is None or not self._link_faults:
+            return 1.0
+        return min(
+            (self.link_factor_floor(e) for e in self.oracle.path_edges(src, dst)),
+            default=1.0,
+        )
+
+    def path_control_blocked_forever(
+        self, src: str, dst: str
+    ) -> Optional[Edge]:
+        """First permanently failed edge on the src→dst path, if any.
+
+        Unlike :meth:`path_control_blocked` this ignores *when* — a sync
+        edge crossing a permanently failed link can never be delivered,
+        which is what schedule repair needs to know when deciding which
+        syncs to regenerate and which to drop.
+        """
+        if self.oracle is None or not self._link_faults:
+            return None
+        permanent = {
+            frozenset(lf.link) for lf in self.plan.permanent_link_failures()
+        }
+        if not permanent:
+            return None
+        for edge in self.oracle.path_edges(src, dst):
+            if frozenset(edge) in permanent:
+                return edge
+        return None
+
     def _edge_control_blocked(self, edge: Edge, time: float) -> bool:
         faults = self._link_faults.get(edge)
         if not faults:

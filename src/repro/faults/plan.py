@@ -189,6 +189,48 @@ class FaultPlan:
             lf for lf in self.link_faults if lf.failed and lf.end == FOREVER
         ]
 
+    def permanent_link_faults(self) -> List[LinkFault]:
+        """Link faults (failed or degraded) whose window never closes.
+
+        These are the faults schedule repair can plan around: a
+        transient window heals by itself (retry/backoff outwaits it),
+        but a permanent degradation or failure changes what the best
+        schedule looks like for the rest of the run.
+        """
+        return [
+            lf
+            for lf in self.link_faults
+            if lf.end == FOREVER and (lf.failed or lf.factor < 1.0)
+        ]
+
+    def sync_blackouts(self) -> List[SyncFault]:
+        """Permanent total-loss sync faults (retry cannot recover them).
+
+        A ``loss >= 1`` fault with an open window makes every matching
+        sync message undeliverable no matter how often it is
+        retransmitted; targeted ones (``src``/``dst`` set) black out a
+        single pair-wise channel.
+        """
+        return [
+            sf
+            for sf in self.sync_faults
+            if sf.loss >= 1.0 and sf.end == FOREVER
+        ]
+
+    def link_floor_factors(self) -> Dict[frozenset, float]:
+        """Worst-case bandwidth multiplier per faulted physical link.
+
+        The minimum :attr:`LinkFault.bandwidth_factor` over every
+        declared window of each link (1.0 links are omitted) — the
+        capacity floor that cost models (fallback selection, relaxed
+        repair) must assume for the rest of the run.
+        """
+        floors: Dict[frozenset, float] = {}
+        for lf in self.link_faults:
+            key = frozenset(lf.link)
+            floors[key] = min(floors.get(key, 1.0), lf.bandwidth_factor)
+        return floors
+
     def validate_against(self, topology) -> None:
         """Raise :class:`FaultPlanError` on references to unknown nodes/links."""
         for lf in self.link_faults:

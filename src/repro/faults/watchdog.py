@@ -15,7 +15,7 @@ it and falls back; the chaos CLI serialises it as a JSON artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,10 @@ class StallDiagnosis:
     crashed_ranks: List[str] = field(default_factory=list)
     active_faults: List[str] = field(default_factory=list)
     suspected_cause: str = "unknown"
+    #: (origin, destination) pairs whose block was already delivered
+    #: when the run stalled — the complement is the residual pair set
+    #: schedule repair re-partitions for a mid-run resume.
+    completed_pairs: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def blocked_phases(self) -> List[int]:
@@ -130,7 +134,54 @@ class StallDiagnosis:
             ],
             "crashed_ranks": list(self.crashed_ranks),
             "active_faults": list(self.active_faults),
+            "completed_pairs": [list(p) for p in self.completed_pairs],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StallDiagnosis":
+        """Rebuild a diagnosis from its :meth:`as_dict` JSON form.
+
+        Inverse of :meth:`as_dict` (the ``--diagnosis-out`` artifact):
+        ``StallDiagnosis.from_dict(d.as_dict()) == d``.
+        """
+        blocked = [
+            BlockedRank(
+                rank=str(b["rank"]),
+                op_index=int(b["op_index"]),
+                kind=str(b["kind"]),
+                peer=str(b["peer"]),
+                tag=int(b["tag"]),
+                phase=int(b["phase"]),
+                since=float(b["since"]),
+            )
+            for b in data.get("blocked", [])
+        ]
+        pending = [
+            PendingSyncEdge(
+                src=str(s["src"]),
+                dst=str(s["dst"]),
+                tag=int(s["tag"]),
+                phase=int(s["phase"]),
+                state=str(s["state"]),
+                attempts=int(s.get("attempts", 0)),
+                blocked_edge=(
+                    tuple(s["blocked_edge"]) if s.get("blocked_edge") else None
+                ),
+            )
+            for s in data.get("pending_syncs", [])
+        ]
+        return cls(
+            time=float(data["time"]),
+            blocked=blocked,
+            pending_syncs=pending,
+            crashed_ranks=[str(r) for r in data.get("crashed_ranks", [])],
+            active_faults=[str(f) for f in data.get("active_faults", [])],
+            suspected_cause=str(data.get("suspected_cause", "unknown")),
+            completed_pairs=[
+                (str(p[0]), str(p[1]))
+                for p in data.get("completed_pairs", [])
+            ],
+        )
 
 
 @dataclass(frozen=True)

@@ -477,4 +477,10 @@ def iter_hot_metric_names() -> Iterator[str]:
         "scheduler.phase_partition_attempts",
         "scheduler.backtracks",
         "scheduler.matching_size",
+        "scheduler.pair_repacks",
+        "scheduler.pairs_repacked",
+        "repair.repairs_attempted",
+        "repair.repairs_succeeded",
+        "repair.phases_rewritten",
+        "repair.pairs_rescheduled",
     )

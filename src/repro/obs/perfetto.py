@@ -181,10 +181,15 @@ def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
         events.extend(telemetry.pipeline.perfetto_events(pid=_PID_PIPELINE))
 
     # --- faults track -------------------------------------------------
-    if telemetry.faults or telemetry.sync_disruptions:
+    recovery = getattr(telemetry, "recovery_decisions", ())
+    if telemetry.faults or telemetry.sync_disruptions or recovery:
         events.append(_meta(_PID_FAULTS, "faults"))
         events.append(_meta(_PID_FAULTS, "fault windows", 0, thread=True))
         events.append(_meta(_PID_FAULTS, "sync disruptions", 1, thread=True))
+        if recovery:
+            events.append(
+                _meta(_PID_FAULTS, "recovery decisions", 2, thread=True)
+            )
         horizon = telemetry.completion_time
         for w in telemetry.faults:
             end = horizon if w.end is None else min(w.end, max(horizon, w.start))
@@ -225,6 +230,27 @@ def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
                     "pid": _PID_FAULTS,
                     "tid": 1,
                     "args": args,
+                }
+            )
+        for d in recovery:
+            # Duck-typed: RepairDecision has a `tier`, FallbackDecision
+            # has from/to algorithms (repro.obs never imports
+            # repro.faults).
+            if hasattr(d, "tier"):
+                verdict = "ok" if d.succeeded else "rejected"
+                name = f"repair[{d.tier}] {verdict}"
+            else:
+                name = f"fallback {d.from_algorithm}->{d.to_algorithm}"
+            events.append(
+                {
+                    "name": name,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _us(d.time),
+                    "pid": _PID_FAULTS,
+                    "tid": 2,
+                    "args": d.as_dict(),
                 }
             )
 

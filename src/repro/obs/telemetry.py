@@ -97,6 +97,12 @@ class RunTelemetry:
     #: The causal analysis behind the attribution — the Perfetto
     #: exporter renders its critical path as a track plus flow arrows.
     causal: Optional["CausalAnalysis"] = None
+    #: Recovery-policy records attached by the resilient runtime when a
+    #: fault plan forced repair or fallback decisions:
+    #: ``RepairDecision`` / ``FallbackDecision`` instances (duck-typed —
+    #: :mod:`repro.obs` never imports :mod:`repro.faults`), rendered on
+    #: the Perfetto faults track.
+    recovery_decisions: Tuple[object, ...] = ()
 
     # ------------------------------------------------------------------
     @property

@@ -408,6 +408,12 @@ def run_programs(
             crashed_ranks=sorted(crashed),
             active_faults=active,
             suspected_cause=cause,
+            # Destination-addressed blocks already delivered — the
+            # complement is the residual pair set schedule repair
+            # re-partitions for a mid-run resume.
+            completed_pairs=sorted(
+                (b[0], b[1]) for rank in machines for b in received[rank]
+            ),
         )
 
     dog = None

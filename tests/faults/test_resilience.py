@@ -89,6 +89,15 @@ def test_mid_run_fallback_completes_with_pairwise(topo):
     assert res.result is not None and res.result.completion_time > 0
     assert [d.stage for d in res.decisions] == ["mid-run"]
     assert res.diagnosis is not None
+    # Schedule repair was tried first (pre-run and mid-run) and refused:
+    # a full trunk failure blows the relaxed tier's contention budget.
+    assert res.repairs and not any(r.succeeded for r in res.repairs)
+    # The stall time burnt before falling back is accounted explicitly.
+    assert res.wasted_time > 0
+    assert res.decisions[-1].wasted_time == pytest.approx(res.wasted_time)
+    assert res.total_time == pytest.approx(
+        res.wasted_time + res.result.completion_time
+    )
 
 
 def test_pre_run_fallback_via_assessment(topo):
@@ -102,6 +111,9 @@ def test_pre_run_fallback_via_assessment(topo):
     assert not res.assessment.scheduled_viable
     assert res.assessment.fallback_viable
     assert not res.assessment.contention_free
+    # Repair ran before the fallback and was refused on the record.
+    assert res.repairs and not any(r.succeeded for r in res.repairs)
+    assert not res.repaired
 
 
 def test_partition_is_reported_unrecoverable(topo):
