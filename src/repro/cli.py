@@ -58,7 +58,7 @@ from repro.harness.report import (
     throughput_table,
 )
 from repro.sim.executor import run_programs
-from repro.sim.params import NetworkParams
+from repro.sim.params import ALLOCATORS, NetworkParams
 from repro.topology.analysis import (
     aapc_load,
     bottleneck_edges,
@@ -101,6 +101,14 @@ def _load_faults(args: argparse.Namespace):
     from repro.faults.plan import load_fault_plan
 
     return load_fault_plan(path)
+
+
+def _make_params(args: argparse.Namespace) -> NetworkParams:
+    """Network parameters from the common simulation flags."""
+    return NetworkParams(
+        seed=args.seed,
+        allocator=getattr(args, "allocator", "incremental"),
+    )
 
 
 def _configure_logging(verbosity: int) -> None:
@@ -265,7 +273,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     topo = _load_topology(spec)
     msize = parse_size(args.msize)
-    params = NetworkParams(seed=args.seed)
+    params = _make_params(args)
     fault_plan = _load_faults(args)
     names = [args.algorithm] if args.algorithm else args.algorithms
     want_telemetry = bool(args.trace_out or args.metrics_out)
@@ -377,11 +385,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "%s: built programs in %.1f ms (%d pipeline spans)",
                 algorithm.name, build_seconds * 1e3, len(profile.spans),
             )
+            t0 = time.perf_counter()
             result = run_programs(
                 topo, programs, msize, params, telemetry=want_telemetry,
                 max_trace_records=args.trace_cap,
                 monitor=monitor_config,
             )
+            sim_seconds = time.perf_counter() - t0
         if stats_writer is not None:
             stats_writer.close()
         throughput = result.aggregate_throughput(topo.num_machines, msize)
@@ -414,6 +424,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             completion_time_ms=result.completion_time * 1e3,
             throughput_mbps=bytes_per_sec_to_mbps(throughput),
             scheduler_runtime_ms=build_seconds * 1e3,
+            sim_wall_ms=sim_seconds * 1e3,
             telemetry=(
                 summarize_links(result.telemetry).as_dict()
                 if result.telemetry is not None
@@ -447,7 +458,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     with profiler.activate():
         programs = algorithm.build_programs(topo, msize)
     result = run_programs(
-        topo, programs, msize, NetworkParams(seed=args.seed), telemetry=True,
+        topo, programs, msize, _make_params(args), telemetry=True,
         max_trace_records=args.trace_cap,
     )
     telemetry = result.telemetry
@@ -514,7 +525,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         with registry.activate():
             programs = algorithm.build_programs(topo, msize)
             result = run_programs(
-                topo, programs, msize, NetworkParams(seed=args.seed),
+                topo, programs, msize, _make_params(args),
                 monitor=config,
             )
     finally:
@@ -576,7 +587,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     topo = _load_topology(args.topology)
     msize = parse_size(args.msize)
-    params = NetworkParams(seed=args.seed)
+    params = _make_params(args)
     if args.no_noise:
         params = params.without_noise()
     budgets = _parse_budgets(args.budget)
@@ -649,7 +660,7 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     algorithm = get_algorithm(args.algorithm)
     programs = algorithm.build_programs(topo, msize)
     result = run_programs(
-        topo, programs, msize, NetworkParams(seed=args.seed), trace=True
+        topo, programs, msize, _make_params(args), trace=True
     )
     ranks = list(topo.machines)[: args.ranks] if args.ranks else None
     print(
@@ -861,7 +872,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     topo = _load_topology(args.topology)
     msize = parse_size(args.msize)
-    params = NetworkParams(seed=args.seed)
+    params = _make_params(args)
 
     if args.plans:
         plans = [load_fault_plan(path) for path in args.plans]
@@ -1195,6 +1206,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="alternative to the positional topology")
     p.add_argument("--msize", default="64KB", help="per-pair message size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.add_argument(
         "--algorithms",
         nargs="+",
@@ -1232,6 +1246,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_algorithms())
     p.add_argument("--msize", default="64KB")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.add_argument("-o", "--out", default="trace.json",
                    help="Perfetto trace output path")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -1252,6 +1269,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_algorithms())
     p.add_argument("--msize", default="64KB")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.add_argument("--metrics-interval", type=float, default=0.5,
                    metavar="SECS",
                    help="wall-clock seconds between table refreshes "
@@ -1286,6 +1306,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_algorithms())
     p.add_argument("--msize", default="64KB", help="per-pair message size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.add_argument("--no-noise", action="store_true",
                    help="disable stochastic latency noise (exact attribution)")
     p.add_argument("--top", type=int, default=8,
@@ -1318,6 +1341,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_algorithms())
     p.add_argument("--msize", default="64KB")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.add_argument("--ranks", type=int, default=None,
                    help="show only the first N ranks")
     p.add_argument("--width", type=int, default=72)
@@ -1342,6 +1368,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--msize", default="128KB")
     p.add_argument("--repetitions", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("repro", parents=[common, ledger_opts],
@@ -1368,6 +1397,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="file path or builtin: a, b, c, fig1")
     p.add_argument("--msize", default="32KB", help="per-pair message size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
     p.add_argument(
         "--algorithms",
         nargs="+",

@@ -97,6 +97,9 @@ class AlgorithmEntry:
     throughput_mbps: Optional[float] = None
     #: Wall-clock cost of building the programs (the offline pipeline).
     scheduler_runtime_ms: Optional[float] = None
+    #: Wall-clock cost of the simulator's engine loop for this run —
+    #: the raw-speed budget the scaling bench gates on.
+    sim_wall_ms: Optional[float] = None
     #: Condensed flight-recorder summary (contention verdict etc.).
     telemetry: Optional[Dict[str, object]] = None
     #: Pipeline profiler spans (``PipelineProfile.as_dicts()`` form).
@@ -115,6 +118,8 @@ class AlgorithmEntry:
             data["throughput_mbps"] = self.throughput_mbps
         if self.scheduler_runtime_ms is not None:
             data["scheduler_runtime_ms"] = self.scheduler_runtime_ms
+        if self.sim_wall_ms is not None:
+            data["sim_wall_ms"] = self.sim_wall_ms
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry
         if self.pipeline is not None:
@@ -134,6 +139,7 @@ class AlgorithmEntry:
             completion_time_ms=float(data["completion_time_ms"]),
             throughput_mbps=data.get("throughput_mbps"),
             scheduler_runtime_ms=data.get("scheduler_runtime_ms"),
+            sim_wall_ms=data.get("sim_wall_ms"),
             telemetry=data.get("telemetry"),
             pipeline=data.get("pipeline"),
             attribution=data.get("attribution"),
@@ -466,7 +472,7 @@ class MetricDelta:
         )
 
 
-_GATED_METRICS = ("completion_time_ms", "scheduler_runtime_ms")
+_GATED_METRICS = ("completion_time_ms", "scheduler_runtime_ms", "sim_wall_ms")
 
 
 def ensure_same_fault_partition(

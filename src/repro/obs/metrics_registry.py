@@ -471,6 +471,9 @@ def iter_hot_metric_names() -> Iterator[str]:
         "network.waterfill_iterations",
         "network.saturated_links",
         "network.flows_in_flight",
+        "network.component_flows",
+        "network.full_resolves",
+        "network.flow_pool_reuses",
         "mpi.syncs_posted",
         "mpi.syncs_retired",
         "mpi.retransmits",

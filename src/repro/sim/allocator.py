@@ -1,0 +1,545 @@
+"""Max-min rate solvers: the reference filler and the incremental one.
+
+Two interchangeable allocators compute the max-min fair rate vector for
+the active flow set (see :mod:`repro.sim.network` for the model):
+
+* :class:`ReferenceAllocator` — the original, deliberately simple
+  progressive filling over **every** directed edge at **every**
+  rate-change instant.  O(flows x links) per re-solve; kept as the
+  trusted oracle for the differential suite
+  (``tests/sim/test_allocator_differential.py``).
+* :class:`IncrementalAllocator` — tracks the set of *dirty* edges
+  (edges whose flow set changed since the last solve), expands it to
+  the connected component of the flow/edge incidence graph, and
+  re-solves **only that component**.  Max-min allocation decomposes
+  exactly over these components — flows in different components share
+  no edge, so the filling rounds of one component never touch the
+  state of another — hence untouched flows keep their previous rates
+  unchanged.  Components above a small size threshold run a
+  numpy-vectorized waterfill; single-flow components (every component
+  of a contention-free schedule) take an allocation-free fast path.
+
+Both allocators produce the same rate vector up to float rounding: the
+vectorized waterfill freezes the same share levels in the same order
+(component edges are scanned in the reference's global first-seen
+order, exact ties — ubiquitous in symmetric AAPC flow sets — are
+frozen together, which is the identical fixpoint), so differences stay
+at the accumulation-order ulp level — bounded well inside the
+differential suite's 1e-9 tolerance.  Pick one via
+:attr:`NetworkParams.allocator`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.topology.graph import Edge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Flow, FlowNetwork
+
+#: Components at or below this many flows use the pure-python filler:
+#: the numpy setup cost only pays off once the arrays have some width.
+_VECTORIZE_THRESHOLD = 12
+#: Crossover to the vectorized filler: the python filler costs
+#: O(touched + edges^2) per solve, the numpy one O(touched) C-level
+#: setup plus a handful of array ops per share level.  Components with
+#: more incidence pairs or more edges than these bounds go to numpy
+#: (bounds picked from LAM-style dense measurements at 24-48 ranks,
+#: where the two fillers break even).
+_VECTORIZE_TOUCHED = 6144
+_VECTORIZE_EDGES = 160
+
+
+def _ragged_gather(
+    ptr: "np.ndarray", idx: "np.ndarray", rows: "np.ndarray"
+) -> "np.ndarray":
+    """Concatenate CSR rows ``idx[ptr[r]:ptr[r+1]]`` for ``r`` in *rows*."""
+    starts = ptr[rows]
+    lens = ptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=idx.dtype)
+    offs = np.repeat(starts, lens)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lens) - lens, lens
+    )
+    return idx[offs + ramp]
+
+
+class BaseAllocator:
+    """Shared dirty-tracking interface driven by :class:`FlowNetwork`."""
+
+    name = "base"
+
+    def __init__(self, network: "FlowNetwork") -> None:
+        self.net = network
+        #: Solves that covered the whole flow set (fault boundaries,
+        #: and every reference solve).
+        self.full_solves = 0
+
+    # -- dirty tracking ------------------------------------------------
+    def note_edges_dirty(self, edges: Iterable[Edge]) -> None:
+        """The flow set of *edges* changed since the last solve."""
+
+    def note_all_dirty(self) -> None:
+        """Every edge must be re-solved (capacities changed globally)."""
+
+    # -- solving -------------------------------------------------------
+    def collect_scope(self, scope: Dict[int, "Flow"]) -> None:
+        """Move the closure of the dirty set into *scope* and clear it.
+
+        *scope* maps fid -> Flow and accumulates across calls (the
+        settle loop re-collects after completion callbacks mutate the
+        flow set).  Entries already present are kept.
+        """
+        raise NotImplementedError
+
+    def solve(
+        self, scope: Dict[int, "Flow"], now: float
+    ) -> Tuple[int, int, int]:
+        """Assign max-min rates to every flow in *scope*.
+
+        Returns ``(touched, iterations, saturated)``: flow x link
+        incidence pairs examined, filling rounds run, and edges frozen
+        (the reference saturates exactly one edge per round; the
+        vectorized filler batches exact ties, so rounds <= edges).
+        """
+        raise NotImplementedError
+
+
+class ReferenceAllocator(BaseAllocator):
+    """Full progressive filling over all edges — the trusted oracle."""
+
+    name = "reference"
+
+    def collect_scope(self, scope: Dict[int, "Flow"]) -> None:
+        scope.update(self.net._flows)
+
+    def solve(
+        self, scope: Dict[int, "Flow"], now: float
+    ) -> Tuple[int, int, int]:
+        net = self.net
+        params = net.params
+        injector = net.injector
+        self.full_solves += 1
+        # Per-edge state: unfrozen flow count and available capacity.
+        unfrozen_count: Dict[Edge, int] = {}
+        available: Dict[Edge, float] = {}
+        touched = 0
+        for e, fids in net._edge_flows.items():
+            n = len(fids)
+            if n == 0:
+                continue
+            touched += n
+            largest = max(net._flows[fid].size for fid in fids)
+            unfrozen_count[e] = n
+            capacity = params.effective_capacity(
+                n,
+                largest,
+                net._endpoint_edge[e],
+                line_bandwidth=net._edge_bandwidth.get(e),
+            )
+            if injector is not None:
+                capacity *= injector.link_factor(e, now)
+            available[e] = capacity
+            if n > net.max_edge_multiplexing:
+                net.max_edge_multiplexing = n
+        frozen: Set[int] = set()
+        for flow in scope.values():
+            flow.rate = 0.0
+        remaining_flows = len(scope)
+        iterations = 0
+        while remaining_flows > 0:
+            iterations += 1
+            # Find the tightest edge.
+            best_edge: Optional[Edge] = None
+            best_share = float("inf")
+            for e, count in unfrozen_count.items():
+                if count <= 0:
+                    continue
+                share = available[e] / count
+                if share < best_share - 1e-15:
+                    best_share = share
+                    best_edge = e
+            if best_edge is None:
+                raise SimulationError(
+                    "max-min allocation stalled with flows unassigned"
+                )
+            # Freeze every unfrozen flow crossing the tightest edge.
+            for fid in list(net._edge_flows[best_edge]):
+                if fid in frozen:
+                    continue
+                flow = net._flows[fid]
+                flow.rate = best_share
+                frozen.add(fid)
+                remaining_flows -= 1
+                for e in flow.edges:
+                    unfrozen_count[e] -= 1
+                    available[e] -= best_share
+            unfrozen_count[best_edge] = 0
+        return touched, iterations, iterations
+
+
+class IncrementalAllocator(BaseAllocator):
+    """Dirty-component re-solve with a vectorized waterfill."""
+
+    name = "incremental"
+
+    def __init__(self, network: "FlowNetwork") -> None:
+        super().__init__(network)
+        # Insertion-ordered so the component scan visits edges in the
+        # same relative order as the reference's global dict scan (Edge
+        # keys are string tuples whose *set* order would be
+        # hash-randomized per process; dicts are deterministic).
+        self._dirty_edges: Dict[Edge, None] = {}
+        self._all_dirty = False
+        # Dense-workload detector: consecutive closures that spanned
+        # (nearly) the whole flow set, and a probe countdown for
+        # noticing when the workload thins out again.
+        self._dense_streak = 0
+        self._dense_probe = 0
+
+    # -- dirty tracking ------------------------------------------------
+    def note_edges_dirty(self, edges: Iterable[Edge]) -> None:
+        if self._all_dirty:
+            return
+        dirty = self._dirty_edges
+        for e in edges:
+            dirty[e] = None
+
+    def note_all_dirty(self) -> None:
+        self._all_dirty = True
+        self._dirty_edges.clear()
+
+    # -- solving -------------------------------------------------------
+    def collect_scope(self, scope: Dict[int, "Flow"]) -> None:
+        net = self.net
+        if self._all_dirty:
+            self._all_dirty = False
+            self._dirty_edges.clear()
+            scope.update(net._flows)
+            self.full_solves += 1
+            return
+        dirty = self._dirty_edges
+        if not dirty:
+            return
+        self._dirty_edges = {}
+        edge_flows = net._edge_flows
+        flows = net._flows
+        # Dense workloads (unscheduled all-at-once patterns like LAM)
+        # put every flow in one giant component: walking the closure
+        # just to rediscover "everything" costs more than the solve.
+        # After two consecutive full-cover closures, skip the walk and
+        # take the whole flow set — a superset of the dirty closure is
+        # still exact (the extra flows re-solve to their current
+        # rates).  A real walk runs every 16th settle to notice when
+        # the workload thins out.
+        if self._dense_streak >= 2:
+            self._dense_probe += 1
+            if self._dense_probe < 16:
+                scope.update(flows)
+                return
+            self._dense_probe = 0
+        # Transitive closure over the flow/edge incidence graph: every
+        # flow sharing an edge (directly or through intermediaries)
+        # with a changed edge may see its bottleneck shift; nothing
+        # outside the closure can.
+        stack: List[Edge] = list(dirty)
+        seen: Set[Edge] = set(dirty)
+        nflows = len(flows)
+        while stack:
+            if len(scope) == nflows:
+                # The closure already covers every active flow; the
+                # remaining frontier cannot add anything.
+                break
+            e = stack.pop()
+            for fid in edge_flows.get(e, ()):
+                if fid in scope:
+                    continue
+                flow = flows[fid]
+                scope[fid] = flow
+                for e2 in flow.edges:
+                    if e2 not in seen:
+                        seen.add(e2)
+                        stack.append(e2)
+        if len(scope) * 8 >= nflows * 7:
+            self._dense_streak += 1
+        else:
+            self._dense_streak = 0
+
+    def solve(
+        self, scope: Dict[int, "Flow"], now: float
+    ) -> Tuple[int, int, int]:
+        if len(scope) == 1:
+            return self._solve_single(next(iter(scope.values())), now)
+        net = self.net
+        # Component edges in global first-seen order (= the reference
+        # scan order restricted to the component, so near-tie breaks
+        # agree).
+        order = net._edge_order
+        edge_flows = net._edge_flows
+        touched = 0
+        if len(scope) == len(net._flows):
+            # Full-scope solve (dense regime): the component is every
+            # populated edge — take them straight from the first-seen
+            # registry instead of re-deriving the set from O(touched)
+            # flow-edge incidence.
+            comp_edges = [e for e in order if edge_flows[e]]
+            for flow in scope.values():
+                touched += len(flow.edges)
+        else:
+            edge_set: Dict[Edge, None] = {}
+            for flow in scope.values():
+                fe = flow.edges
+                touched += len(fe)
+                for e in fe:
+                    edge_set[e] = None
+            comp_edges = sorted(edge_set, key=order.__getitem__)
+        if len(scope) <= _VECTORIZE_THRESHOLD or (
+            touched <= _VECTORIZE_TOUCHED and len(comp_edges) <= _VECTORIZE_EDGES
+        ):
+            return self._solve_python(scope, comp_edges, now)
+        return self._solve_numpy(scope, comp_edges, now)
+
+    # -- fast paths ----------------------------------------------------
+    def _solve_single(
+        self, flow: "Flow", now: float
+    ) -> Tuple[int, int, int]:
+        """A lone flow gets the min capacity along its path (eta = 1).
+
+        Contention-free schedules put **every** flow in this case, so
+        it avoids even the dict bookkeeping of the python filler.
+        """
+        net = self.net
+        params = net.params
+        injector = net.injector
+        size = flow.size
+        best = float("inf")
+        for e in flow.edges:
+            capacity = params.effective_capacity(
+                1,
+                size,
+                net._endpoint_edge[e],
+                line_bandwidth=net._edge_bandwidth.get(e),
+            )
+            if injector is not None:
+                capacity *= injector.link_factor(e, now)
+            if capacity < best:
+                best = capacity
+        flow.rate = best
+        if net.max_edge_multiplexing < 1:
+            net.max_edge_multiplexing = 1
+        return len(flow.edges), 1, 1
+
+    def _edge_capacity(self, e: Edge, n: int, largest: float, now: float) -> float:
+        net = self.net
+        capacity = net.params.effective_capacity(
+            n,
+            largest,
+            net._endpoint_edge[e],
+            line_bandwidth=net._edge_bandwidth.get(e),
+        )
+        if net.injector is not None:
+            capacity *= net.injector.link_factor(e, now)
+        return capacity
+
+    def _solve_python(
+        self,
+        scope: Dict[int, "Flow"],
+        comp_edges: List[Edge],
+        now: float,
+    ) -> Tuple[int, int, int]:
+        """The reference filler restricted to one small component."""
+        net = self.net
+        edge_flows = net._edge_flows
+        flows = net._flows
+        unfrozen_count: Dict[Edge, int] = {}
+        available: Dict[Edge, float] = {}
+        touched = 0
+        for e in comp_edges:
+            fids = edge_flows[e]
+            n = len(fids)
+            if n == 0:
+                continue
+            touched += n
+            largest = max(flows[fid].size for fid in fids)
+            unfrozen_count[e] = n
+            available[e] = self._edge_capacity(e, n, largest, now)
+            if n > net.max_edge_multiplexing:
+                net.max_edge_multiplexing = n
+        frozen: Set[int] = set()
+        for flow in scope.values():
+            flow.rate = 0.0
+        remaining_flows = len(scope)
+        iterations = 0
+        while remaining_flows > 0:
+            iterations += 1
+            best_edge: Optional[Edge] = None
+            best_share = float("inf")
+            for e, count in unfrozen_count.items():
+                if count <= 0:
+                    continue
+                share = available[e] / count
+                if share < best_share - 1e-15:
+                    best_share = share
+                    best_edge = e
+            if best_edge is None:
+                raise SimulationError(
+                    "max-min allocation stalled with flows unassigned"
+                )
+            for fid in list(edge_flows[best_edge]):
+                if fid in frozen:
+                    continue
+                flow = flows[fid]
+                flow.rate = best_share
+                frozen.add(fid)
+                remaining_flows -= 1
+                for e in flow.edges:
+                    unfrozen_count[e] -= 1
+                    available[e] -= best_share
+            unfrozen_count[best_edge] = 0
+        return touched, iterations, iterations
+
+    # -- vectorized waterfill ------------------------------------------
+    def _solve_numpy(
+        self,
+        scope: Dict[int, "Flow"],
+        comp_edges: List[Edge],
+        now: float,
+    ) -> Tuple[int, int, int]:
+        net = self.net
+        params = net.params
+        injector = net.injector
+        edge_flows = net._edge_flows
+        local: Dict[int, int] = {}
+        flow_list: List["Flow"] = []
+        for i, (fid, flow) in enumerate(scope.items()):
+            local[fid] = i
+            flow_list.append(flow)
+        nflows = len(flow_list)
+
+        # Edge -> flows incidence (CSR), skipping emptied edges.
+        get_local = local.__getitem__
+        edges: List[Edge] = []
+        eptr: List[int] = [0]
+        eidx: List[int] = []
+        for e in comp_edges:
+            fids = edge_flows[e]
+            if not fids:
+                continue
+            edges.append(e)
+            eidx.extend(map(get_local, fids))
+            eptr.append(len(eidx))
+        nedges = len(edges)
+        touched = len(eidx)
+        eptr_arr = np.asarray(eptr, dtype=np.int64)
+        eidx_arr = np.asarray(eidx, dtype=np.int64)
+        count_arr = np.diff(eptr_arr).astype(np.float64)
+        if count_arr.size and count_arr.max() > net.max_edge_multiplexing:
+            net.max_edge_multiplexing = int(count_arr.max())
+
+        # Vectorized effective_capacity: identical elementwise IEEE ops
+        # to the scalar path in NetworkParams, so results match the
+        # reference bit for bit.
+        sizes_local = np.fromiter(
+            (f.size for f in flow_list), dtype=np.float64, count=nflows
+        )
+        largest_arr = np.maximum.reduceat(sizes_local[eidx_arr], eptr_arr[:-1])
+        endpoint = np.fromiter(
+            (net._endpoint_edge[e] for e in edges), dtype=bool, count=nedges
+        )
+        raw = np.full(nedges, params.bandwidth, dtype=np.float64)
+        if net._edge_bandwidth:
+            bw = net._edge_bandwidth
+            for i, e in enumerate(edges):
+                override = bw.get(e)
+                if override is not None:
+                    raw[i] = override
+        big_mask = largest_arr >= params.large_flow_threshold
+        floor = np.where(
+            endpoint,
+            np.where(
+                big_mask,
+                params.contention_floor_large,
+                params.contention_floor_small,
+            ),
+            np.where(big_mask, params.trunk_floor_large, params.trunk_floor_small),
+        )
+        excess = count_arr - params.contention_grace
+        denom = 1.0 + params.contention_gamma * excess
+        safe = np.where(excess > 0, denom, 1.0)
+        eta = np.where(excess > 0, floor + (1.0 - floor) / safe, 1.0)
+        available = (raw * params.base_efficiency) * eta
+        if injector is not None:
+            for i, e in enumerate(edges):
+                available[i] *= injector.link_factor(e, now)
+
+        # Flow -> edges incidence (CSR) for the freeze subtraction.
+        get_edge_local = {e: i for i, e in enumerate(edges)}.__getitem__
+        fptr_l: List[int] = [0]
+        fidx_l: List[int] = []
+        for flow in flow_list:
+            fidx_l.extend(map(get_edge_local, flow.edges))
+            fptr_l.append(len(fidx_l))
+        fptr = np.asarray(fptr_l, dtype=np.int64)
+        fidx = np.asarray(fidx_l, dtype=np.int64)
+
+        rates = np.zeros(nflows, dtype=np.float64)
+        unfrozen = np.ones(nflows, dtype=bool)
+        shares = np.empty(nedges, dtype=np.float64)
+        nfrozen = 0
+        iterations = 0
+        saturated = 0
+        while nfrozen < nflows:
+            iterations += 1
+            active = count_arr > 0
+            if not active.any():
+                raise SimulationError(
+                    "max-min allocation stalled with flows unassigned"
+                )
+            shares.fill(np.inf)
+            np.divide(available, count_arr, out=shares, where=active)
+            s = float(shares.min())
+            if not np.isfinite(s):
+                raise SimulationError(
+                    "max-min allocation stalled with flows unassigned"
+                )
+            # Every edge at the exact minimum saturates this round.
+            # The reference freezes them one scan at a time, but an
+            # exactly-tied edge keeps its share after each freeze
+            # (avail = n*s implies (avail - k*s)/(n - k) = s), so
+            # batching them is the same fixpoint — and it collapses
+            # the highly symmetric AAPC flow sets from O(edges) rounds
+            # to a handful of share levels.
+            tied = np.flatnonzero(shares == s)
+            saturated += int(tied.size)
+            crossing = _ragged_gather(eptr_arr, eidx_arr, tied)
+            crossing = crossing[unfrozen[crossing]]
+            if crossing.size:
+                new = np.unique(crossing)
+                rates[new] = s
+                unfrozen[new] = False
+                nfrozen += int(new.size)
+                # One subtraction per (flow, edge) incidence of the
+                # newly frozen flows, all at the same share s.
+                hit = _ragged_gather(fptr, fidx, new)
+                delta = np.bincount(hit, minlength=nedges)
+                available -= delta * s
+                count_arr -= delta
+            count_arr[tied] = 0.0
+        for j, flow in enumerate(flow_list):
+            flow.rate = float(rates[j])
+        return touched, iterations, saturated
+
+
+def make_allocator(name: str, network: "FlowNetwork") -> BaseAllocator:
+    """Build the allocator selected by :attr:`NetworkParams.allocator`."""
+    if name == "incremental":
+        return IncrementalAllocator(network)
+    if name == "reference":
+        return ReferenceAllocator(network)
+    raise SimulationError(f"unknown allocator {name!r}")

@@ -9,6 +9,14 @@ generator coroutine that may yield
 * a ``float`` — sleep that many simulated seconds,
 * a :class:`SimEvent` — park until the event triggers.
 
+Same-timestamp events form a *batch*.  :meth:`Engine.defer` registers a
+callback that runs once at the **end of the current batch** — after
+every already-queued event at the current instant, but before simulated
+time advances.  The flow network uses it to coalesce any number of
+same-instant flow-set changes into a single max-min re-solve (see
+:mod:`repro.sim.network`); deferred callbacks may schedule new events
+at the same instant, which extend the batch.
+
 This is the substrate under :mod:`repro.sim.mpi`; it knows nothing
 about networks.
 """
@@ -90,6 +98,8 @@ class Engine:
             self._m_batch = None
         self._batch_time = -1.0
         self._batch_count = 0
+        #: End-of-batch callbacks (see :meth:`defer`).
+        self._deferred: List[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -118,6 +128,18 @@ class Engine:
         if len(self._heap) > self._peak_heap_depth:
             self._peak_heap_depth = len(self._heap)
 
+    def defer(self, callback: Callable[[], None]) -> None:
+        """Run *callback* at the end of the current same-timestamp batch.
+
+        The callback fires after every event already queued at the
+        current instant has run, at the same simulated time — before
+        the clock advances to the next event (and before :meth:`run`
+        returns, when the heap drains first).  Deferred callbacks may
+        schedule new events at the current instant; those extend the
+        batch and any callbacks they defer run in turn.
+        """
+        self._deferred.append(callback)
+
     def spawn(self, generator: Generator) -> SimEvent:
         """Drive a coroutine; returns an event triggered when it finishes.
 
@@ -136,7 +158,9 @@ class Engine:
             if isinstance(yielded, SimEvent):
                 yielded.on_trigger(step)
             elif isinstance(yielded, (int, float)):
-                self.schedule(float(yielded), lambda: step(None))
+                # ``step`` doubles as a zero-arg callback: no per-sleep
+                # closure allocation on the hot resume path.
+                self.schedule(float(yielded), step)
             else:
                 raise SimulationError(
                     f"process yielded {yielded!r}; expected SimEvent or delay"
@@ -144,7 +168,7 @@ class Engine:
 
         # Start on the next event-loop turn so spawn order is preserved
         # but the caller finishes first.
-        self.schedule(0.0, lambda: step(None))
+        self.schedule(0.0, step)
         return done
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
@@ -154,13 +178,22 @@ class Engine:
         deadlock/livelock backstop for buggy programs.
         """
         m_events = self._m_events
-        while self._heap:
-            time, _seq, callback = self._heap[0]
+        heap = self._heap
+        while True:
+            if self._deferred and (not heap or heap[0][0] > self._now):
+                # End of the current same-timestamp batch: run deferred
+                # callbacks before the clock advances.  They may push
+                # new events (or defer again) at the current instant.
+                self._run_deferred()
+                continue
+            if not heap:
+                break
+            time, _seq, callback = heap[0]
             if until is not None and time > until:
                 self._now = until
                 self._flush_batch()
                 return
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
             if time < self._now - 1e-12:
                 raise SimulationError(
                     f"time went backwards: {time} < {self._now}"
@@ -184,6 +217,12 @@ class Engine:
                 )
             callback()
         self._flush_batch()
+
+    def _run_deferred(self) -> None:
+        """Run the pending end-of-batch callbacks (one generation)."""
+        batch, self._deferred = self._deferred, []
+        for callback in batch:
+            callback()
 
     def _flush_batch(self) -> None:
         """Record the trailing same-timestamp event batch, if any."""

@@ -9,18 +9,37 @@ share — the classic max-min allocation.  Edge capacity shrinks under
 multiplexing via :meth:`NetworkParams.effective_capacity`, modelling
 TCP/Ethernet goodput collapse (see :mod:`repro.sim.params`).
 
-Rate changes are *batched*: adds/removes at the same instant trigger a
-single settle, which keeps event counts manageable when e.g. the LAM
-algorithm launches ~1000 flows at once.
+The solve itself is delegated to an allocator
+(:mod:`repro.sim.allocator`): the default ``incremental`` allocator
+re-solves only the connected component of the flow/edge incidence
+graph reachable from edges whose flow set changed — flows elsewhere
+keep their rates, which max-min decomposition makes exact — while the
+``reference`` allocator re-runs the original full filling every time.
+
+Rate-change instants are *batched*: adds/removes/completions at the
+same instant coalesce into a single settle that runs at the end of the
+engine's same-timestamp batch (:meth:`Engine.defer`), which keeps both
+event counts and re-solve counts manageable when e.g. the LAM
+algorithm launches ~1000 flows at once.  Per-flow byte accounting is
+lazy — a flow's ``remaining`` is caught up only when its own rate
+changes, at its completion deadline, or via :meth:`sync_progress` —
+and completions come from a deadline heap with stale-entry
+invalidation instead of an O(flows) scan per settle.  Completed
+:class:`Flow` objects are pooled and reused by later
+:meth:`start_flow` calls (disable with ``NetworkParams.pool_flows``);
+a completed flow's fields stay readable until the object is reused.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.bus import EventBus, FlowFinished, FlowStarted, LinkOccupancy
 from repro.obs.metrics_registry import active_registry
+from repro.sim.allocator import make_allocator
 from repro.sim.engine import Engine
 from repro.sim.params import NetworkParams
 from repro.topology.graph import Edge, Topology
@@ -29,11 +48,20 @@ from repro.topology.paths import PathOracle
 #: Residual bytes below which a flow counts as finished (float safety).
 _EPSILON_BYTES = 1e-6
 
+#: Slack when popping deadline-heap entries: the engine may fire a
+#: timer one rounding step before the stored deadline (``now + (d -
+#: now)`` need not equal ``d`` in floats); entries this close are due.
+_EPSILON_TIME = 1e-12
+
 
 class Flow:
     """One fluid transfer over a fixed directed path."""
 
-    __slots__ = ("fid", "src", "dst", "edges", "size", "remaining", "rate", "on_complete", "start_time", "end_time", "tag", "phase")
+    __slots__ = (
+        "fid", "src", "dst", "edges", "size", "remaining", "rate",
+        "on_complete", "start_time", "end_time", "tag", "phase",
+        "gen", "updated", "drate",
+    )
 
     def __init__(
         self,
@@ -47,6 +75,25 @@ class Flow:
         tag: int = -1,
         phase: int = -1,
     ) -> None:
+        #: Invalidates queued deadline entries when the rate changes.
+        self.gen = 0
+        self.reinit(
+            fid, src, dst, edges, nbytes, on_complete, start_time, tag, phase
+        )
+
+    def reinit(
+        self,
+        fid: int,
+        src: str,
+        dst: str,
+        edges: Tuple[Edge, ...],
+        nbytes: float,
+        on_complete: Callable[["Flow"], None],
+        start_time: float,
+        tag: int = -1,
+        phase: int = -1,
+    ) -> None:
+        """Recycle a pooled object for a fresh transfer."""
         self.fid = fid
         self.src = src
         self.dst = dst
@@ -59,6 +106,13 @@ class Flow:
         self.end_time: Optional[float] = None
         self.tag = tag
         self.phase = phase
+        self.gen += 1
+        #: Simulated time up to which ``remaining`` is accounted.
+        self.updated = start_time
+        #: Rate under which the live deadline-heap entry was computed
+        #: (0.0 = no live entry).  A solve that lands on the same rate
+        #: keeps the entry: the completion instant is unchanged.
+        self.drate = 0.0
 
 
 class FlowNetwork:
@@ -104,6 +158,9 @@ class FlowNetwork:
                 self._edge_bandwidth[(v, u)] = bw
         self._flows: Dict[int, Flow] = {}
         self._edge_flows: Dict[Edge, Set[int]] = {}
+        #: First-seen rank per edge: the component solvers scan edges
+        #: in this order so tie-breaks match the reference's dict scan.
+        self._edge_order: Dict[Edge, int] = {}
         # Endpoint edges (machine uplinks/downlinks) suffer the incast
         # collapse; switch-to-switch trunks share fluidly.
         self._endpoint_edge: Dict[Edge, bool] = {
@@ -111,23 +168,30 @@ class FlowNetwork:
             for u, v in topology.directed_edges()
         }
         self._next_fid = 0
-        self._last_update = 0.0
         self._dirty = False
-        self._completion_generation = 0
+        self._allocator = make_allocator(params.allocator, self)
+        #: (deadline, fid, flow.gen) completion heap; entries whose fid
+        #: is gone or whose gen lags the flow's are stale and skipped.
+        self._deadlines: List[Tuple[float, int, int]] = []
+        self._timer_target = math.inf
+        self._timer_epoch = 0
+        self._pool: Optional[List[Flow]] = [] if params.pool_flows else None
         # Statistics for the invariant tests and reports.
         self.bytes_injected = 0.0
         self.bytes_delivered = 0.0
         self.peak_concurrent_flows = 0
         self.max_edge_multiplexing = 0
+        self.flow_pool_reuses = 0
         #: Bytes actually transported per directed edge.
         self.edge_bytes: Dict[Edge, float] = {}
         # Fault boundaries are rate-change instants: re-solve max-min
         # whenever a link degrades, fails or recovers so every flow's
-        # piecewise-constant rate stays exact.
+        # piecewise-constant rate stays exact.  Capacities change
+        # globally, so the whole flow set is dirtied.
         if injector is not None:
             for t in injector.boundaries():
                 if t > 0:
-                    self.engine.schedule(t, self._mark_dirty)
+                    self.engine.schedule(t, self._boundary_resolve)
         # Metric handles captured once; None handles keep the hot paths
         # at one test per site (see repro.obs.metrics_registry).
         registry = active_registry()
@@ -150,6 +214,15 @@ class FlowNetwork:
             self._m_inflight = registry.gauge(
                 "network.flows_in_flight", "Active flows after a settle"
             )
+            self._m_component = registry.histogram(
+                "network.component_flows", "Flows re-rated per solve"
+            )
+            self._m_full = registry.counter(
+                "network.full_resolves", "Solves covering the whole flow set"
+            )
+            self._m_pool = registry.counter(
+                "network.flow_pool_reuses", "Flow objects recycled from the pool"
+            )
         else:
             self._m_resolves = None
             self._m_flowset = None
@@ -157,6 +230,9 @@ class FlowNetwork:
             self._m_waterfill = None
             self._m_saturated = None
             self._m_inflight = None
+            self._m_component = None
+            self._m_full = None
+            self._m_pool = None
 
     # ------------------------------------------------------------------
     # public API
@@ -178,34 +254,49 @@ class FlowNetwork:
         """
         if nbytes <= 0:
             raise SimulationError(f"flow size must be positive, got {nbytes}")
-        self._advance_progress()
         edges = self.oracle.path_edges(src, dst)
         if not edges:
             raise SimulationError(f"no path from {src!r} to {dst!r}")
-        flow = Flow(
-            self._next_fid, src, dst, edges, nbytes, on_complete,
-            self.engine.now, tag, phase,
-        )
+        now = self.engine.now
+        fid = self._next_fid
         self._next_fid += 1
-        self._flows[flow.fid] = flow
+        pool = self._pool
+        if pool:
+            flow = pool.pop()
+            flow.reinit(
+                fid, src, dst, edges, nbytes, on_complete, now, tag, phase
+            )
+            self.flow_pool_reuses += 1
+            if self._m_pool is not None:
+                self._m_pool.value += 1
+        else:
+            flow = Flow(
+                fid, src, dst, edges, nbytes, on_complete, now, tag, phase
+            )
+        self._flows[fid] = flow
+        edge_flows = self._edge_flows
+        order = self._edge_order
         for e in edges:
-            self._edge_flows.setdefault(e, set()).add(flow.fid)
+            fids = edge_flows.get(e)
+            if fids is None:
+                edge_flows[e] = fids = set()
+                order[e] = len(order)
+            fids.add(fid)
         self.bytes_injected += nbytes
-        self.peak_concurrent_flows = max(
-            self.peak_concurrent_flows, len(self._flows)
-        )
+        if len(self._flows) > self.peak_concurrent_flows:
+            self.peak_concurrent_flows = len(self._flows)
         if self.bus is not None:
-            now = self.engine.now
             self.bus.publish(
                 FlowStarted(
-                    now, flow.fid, src, dst, flow.size, edges,
+                    now, fid, src, dst, flow.size, edges,
                     flow.tag, flow.phase,
                 )
             )
             for e in edges:
                 self.bus.publish(
-                    LinkOccupancy(now, e, len(self._edge_flows[e]))
+                    LinkOccupancy(now, e, len(edge_flows[e]))
                 )
+        self._allocator.note_edges_dirty(edges)
         self._mark_dirty()
         return flow
 
@@ -216,156 +307,230 @@ class FlowNetwork:
     def flow_rate(self, flow: Flow) -> float:
         return flow.rate
 
+    @property
+    def full_resolves(self) -> int:
+        """Solves that covered the entire flow set (see allocator)."""
+        return self._allocator.full_solves
+
+    def sync_progress(self) -> None:
+        """Bring every active flow's byte accounting up to ``now``.
+
+        Rates and completions are always exact; only the byte ledgers
+        (``bytes_delivered``/``edge_bytes``/``Flow.remaining``) are
+        lazy.  Call this before reading them while flows are still in
+        flight (the executor does, for stalled/crashed runs)."""
+        now = self.engine.now
+        for flow in self._flows.values():
+            if flow.updated != now:
+                self._advance_flow(flow, now)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _mark_dirty(self) -> None:
         if not self._dirty:
             self._dirty = True
-            self.engine.schedule(0.0, self._settle)
+            self.engine.defer(self._settle)
             if self._m_flowset is not None:
                 self._m_flowset.value += 1
 
-    def _advance_progress(self) -> None:
-        """Account bytes moved since the last rate change."""
-        now = self.engine.now
-        dt = now - self._last_update
-        if dt > 0:
-            for flow in self._flows.values():
-                if flow.rate > 0:
-                    before = flow.remaining
-                    flow.remaining = max(0.0, before - flow.rate * dt)
-                    moved = before - flow.remaining
-                    self.bytes_delivered += moved
-                    for e in flow.edges:
-                        self.edge_bytes[e] = self.edge_bytes.get(e, 0.0) + moved
-        self._last_update = now
+    def _boundary_resolve(self) -> None:
+        """Fault boundary: capacities changed globally — re-solve all."""
+        self._allocator.note_all_dirty()
+        self._mark_dirty()
+
+    def _advance_flow(self, flow: Flow, now: float) -> None:
+        """Account bytes *flow* moved since its last catch-up."""
+        dt = now - flow.updated
+        if dt > 0.0 and flow.rate > 0.0:
+            before = flow.remaining
+            after = before - flow.rate * dt
+            if after < 0.0:
+                after = 0.0
+            flow.remaining = after
+            moved = before - after
+            self.bytes_delivered += moved
+            edge_bytes = self.edge_bytes
+            for e in flow.edges:
+                edge_bytes[e] = edge_bytes.get(e, 0.0) + moved
+        flow.updated = now
 
     def _settle(self) -> None:
-        """Recompute rates and schedule the next completion sweep."""
+        """Recompute rates for every flow a change could have touched.
+
+        Runs at the end of the engine's same-timestamp batch (see
+        :meth:`Engine.defer`), so any number of same-instant flow-set
+        changes produce one solve.  Completion callbacks may start new
+        flows at the same instant; the loop folds them into the scope
+        until the instant is quiescent, then solves once.
+        """
         if not self._dirty:
             return
-        self._dirty = False
-        self._advance_progress()
-        self._complete_finished()
-        if self._m_resolves is not None:
-            self._m_resolves.value += 1
-            self._m_inflight.value = len(self._flows)
-        if not self._flows:
-            return
-        self._allocate_max_min()
-        running = [
-            flow.remaining / flow.rate
-            for flow in self._flows.values()
-            if flow.rate > 0
-        ]
-        if not running:
-            # Every flow is frozen behind a failed link; a fault
-            # boundary (recovery) or the stall watchdog wakes us.
-            return
-        next_completion = min(running)
-        self._completion_generation += 1
-        generation = self._completion_generation
-        self.engine.schedule(
-            max(0.0, next_completion), lambda: self._on_completion_timer(generation)
-        )
-
-    def _on_completion_timer(self, generation: int) -> None:
-        if generation != self._completion_generation:
-            return  # superseded by a later settle
-        self._advance_progress()
-        self._complete_finished()
-        self._dirty = True
-        self._settle()
-
-    def _complete_finished(self) -> None:
-        done = [
-            flow
-            for flow in self._flows.values()
-            if flow.remaining <= _EPSILON_BYTES
-        ]
-        for flow in done:
-            del self._flows[flow.fid]
-            for e in flow.edges:
-                self._edge_flows[e].discard(flow.fid)
-            flow.remaining = 0.0
-            flow.rate = 0.0
-            flow.end_time = self.engine.now
-            if self.bus is not None:
-                now = self.engine.now
-                self.bus.publish(
-                    FlowFinished(
-                        now, flow.fid, flow.src, flow.dst, flow.size,
-                        flow.start_time, flow.tag, flow.phase,
-                    )
-                )
-                for e in flow.edges:
-                    self.bus.publish(
-                        LinkOccupancy(now, e, len(self._edge_flows[e]))
-                    )
-            flow.on_complete(flow)
-
-    def _allocate_max_min(self) -> None:
-        """Progressive filling over the directed edges."""
-        params = self.params
-        # Per-edge state: unfrozen flow count and available capacity.
-        unfrozen_count: Dict[Edge, int] = {}
-        available: Dict[Edge, float] = {}
-        injector = self.injector
         now = self.engine.now
-        touched = 0
-        for e, fids in self._edge_flows.items():
-            n = len(fids)
-            if n == 0:
-                continue
-            touched += n
-            largest = max(self._flows[fid].size for fid in fids)
-            unfrozen_count[e] = n
-            capacity = params.effective_capacity(
-                n,
-                largest,
-                self._endpoint_edge[e],
-                line_bandwidth=self._edge_bandwidth.get(e),
-            )
-            if injector is not None:
-                capacity *= injector.link_factor(e, now)
-            available[e] = capacity
-            self.max_edge_multiplexing = max(self.max_edge_multiplexing, n)
-        frozen: Set[int] = set()
-        for flow in self._flows.values():
-            flow.rate = 0.0
-        remaining_flows = len(self._flows)
-        iterations = 0
-        while remaining_flows > 0:
-            iterations += 1
-            # Find the tightest edge.
-            best_edge: Optional[Edge] = None
-            best_share = float("inf")
-            for e, count in unfrozen_count.items():
-                if count <= 0:
-                    continue
-                share = available[e] / count
-                if share < best_share - 1e-15:
-                    best_share = share
-                    best_edge = e
-            if best_edge is None:
-                raise SimulationError(
-                    "max-min allocation stalled with flows unassigned"
-                )
-            # Freeze every unfrozen flow crossing the tightest edge.
-            for fid in list(self._edge_flows[best_edge]):
-                if fid in frozen:
-                    continue
-                flow = self._flows[fid]
-                flow.rate = best_share
-                frozen.add(fid)
-                remaining_flows -= 1
-                for e in flow.edges:
-                    unfrozen_count[e] -= 1
-                    available[e] -= best_share
-            unfrozen_count[best_edge] = 0
+        alloc = self._allocator
+        full_before = alloc.full_solves
+        scope: Dict[int, Flow] = {}
+        while self._dirty:
+            self._dirty = False
+            if self._m_resolves is not None:
+                self._m_resolves.value += 1
+            alloc.collect_scope(scope)
+            due: List[Flow] = []
+            for flow in scope.values():
+                if flow.updated != now:
+                    self._advance_flow(flow, now)
+                if flow.remaining <= _EPSILON_BYTES:
+                    due.append(flow)
+            if due:
+                due.sort(key=lambda f: f.fid)
+                for flow in due:
+                    scope.pop(flow.fid, None)
+                    self._complete_flow(flow)
+        if self._m_inflight is not None:
+            self._m_inflight.value = len(self._flows)
+        if not scope:
+            return
+        touched, iterations, saturated = alloc.solve(scope, now)
         if self._m_waterfill is not None:
             self._m_touched.observe(touched)
             self._m_waterfill.observe(iterations)
-            # Each filling round saturates (freezes) exactly one edge.
-            self._m_saturated.observe(iterations)
+            self._m_saturated.observe(saturated)
+            self._m_component.observe(len(scope))
+            full_delta = alloc.full_solves - full_before
+            if full_delta:
+                self._m_full.value += full_delta
+        deadlines = self._deadlines
+        pushes: List[Tuple[float, int, int]] = []
+        for flow in scope.values():
+            rate = flow.rate
+            if rate == flow.drate:
+                # Unchanged rate: the live entry (if any) still names
+                # the right completion instant — no heap churn.
+                continue
+            flow.gen += 1
+            flow.drate = rate
+            if rate > 0.0:
+                pushes.append((now + flow.remaining / rate, flow.fid, flow.gen))
+            # rate == 0: frozen behind a failed link; a fault boundary
+            # (recovery) or the stall watchdog wakes us.
+        if len(pushes) * 2 >= len(deadlines):
+            # Most of the heap just went stale (every re-rated flow's
+            # old entry has a lagging gen).  Rebuilding — live survivors
+            # plus the new entries, one O(n) heapify — is cheaper than
+            # n pushes into a stale-laden heap and also purges the
+            # garbage, keeping the heap near the live-flow count.
+            flows = self._flows
+            live = [
+                entry
+                for entry in deadlines
+                if (f := flows.get(entry[1])) is not None and f.gen == entry[2]
+            ]
+            live.extend(pushes)
+            heapq.heapify(live)
+            self._deadlines = live
+        else:
+            for entry in pushes:
+                heapq.heappush(deadlines, entry)
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        """Schedule the completion timer for the earliest live deadline.
+
+        Each arming that actually schedules bumps ``_timer_epoch``,
+        instantly invalidating every previously scheduled timer event:
+        we only schedule when the new deadline is *earlier* than the
+        outstanding target, so the newest event is always the one that
+        should fire, and superseded events die in O(1) at dispatch.
+        """
+        deadlines = self._deadlines
+        flows = self._flows
+        while deadlines:
+            d, fid, gen = deadlines[0]
+            flow = flows.get(fid)
+            if flow is None or flow.gen != gen:
+                heapq.heappop(deadlines)
+                continue
+            if d < self._timer_target:
+                self._timer_target = d
+                self._timer_epoch += 1
+                epoch = self._timer_epoch
+                self.engine.schedule(
+                    max(0.0, d - self.engine.now),
+                    lambda: self._on_deadline(epoch),
+                )
+            return
+
+    def _on_deadline(self, epoch: int) -> None:
+        """Completion timer: finish every flow whose deadline is due.
+
+        Stale heap entries (completed flows, superseded rates) are
+        dropped lazily via the fid lookup and generation check — a
+        flow can never be completed twice, however events batch.
+        """
+        if epoch != self._timer_epoch:
+            return  # superseded by a later arming at an earlier time
+        self._timer_target = math.inf
+        now = self.engine.now
+        deadlines = self._deadlines
+        flows = self._flows
+        completed = False
+        while deadlines and deadlines[0][0] <= now + _EPSILON_TIME:
+            d, fid, gen = heapq.heappop(deadlines)
+            flow = flows.get(fid)
+            if flow is None or flow.gen != gen:
+                continue
+            if flow.updated != now:
+                self._advance_flow(flow, now)
+            # Done when the byte residue is negligible — or when it
+            # would drain within the timer's own resolution.  Without
+            # the second clause a sub-ulp residue requeues a deadline
+            # at (float-)``now`` forever: the flow can't advance twice
+            # at one timestamp, so nothing ever shrinks the residue.
+            if (
+                flow.remaining <= _EPSILON_BYTES
+                or flow.remaining <= flow.rate * _EPSILON_TIME
+            ):
+                edges = flow.edges
+                self._complete_flow(flow)
+                self._allocator.note_edges_dirty(edges)
+                completed = True
+            else:
+                # Fired a rounding step early: requeue and retry at the
+                # recomputed deadline (a fresh timer, not this batch).
+                heapq.heappush(
+                    deadlines, (now + flow.remaining / flow.rate, fid, gen)
+                )
+                break
+        if completed:
+            self._mark_dirty()
+        self._arm_timer()
+
+    def _complete_flow(self, flow: Flow) -> None:
+        fid = flow.fid
+        if self._flows.get(fid) is not flow:
+            return  # already completed
+        del self._flows[fid]
+        for e in flow.edges:
+            self._edge_flows[e].discard(fid)
+        flow.remaining = 0.0
+        flow.rate = 0.0
+        flow.gen += 1
+        now = self.engine.now
+        flow.end_time = now
+        if self.bus is not None:
+            self.bus.publish(
+                FlowFinished(
+                    now, fid, flow.src, flow.dst, flow.size,
+                    flow.start_time, flow.tag, flow.phase,
+                )
+            )
+            for e in flow.edges:
+                self.bus.publish(
+                    LinkOccupancy(now, e, len(self._edge_flows[e]))
+                )
+        flow.on_complete(flow)
+        if self._pool is not None:
+            # Only after the callback: the handle it received must not
+            # mutate under it.  The object stays readable (end_time,
+            # size, ...) until a later start_flow recycles it.
+            self._pool.append(flow)

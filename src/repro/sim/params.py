@@ -44,6 +44,9 @@ from typing import Optional
 
 from repro.units import mbps, us
 
+#: Valid :attr:`NetworkParams.allocator` values (default first).
+ALLOCATORS = ("incremental", "reference")
+
 
 @dataclass(frozen=True)
 class NetworkParams:
@@ -110,6 +113,19 @@ class NetworkParams:
     rank_speed_overrides: tuple = ()
     #: RNG seed for all noise streams (runs are deterministic per seed).
     seed: int = 0
+    #: Max-min rate solver: ``"incremental"`` (numpy-vectorized,
+    #: re-solves only the dirty connected component of the flow/link
+    #: incidence graph) or ``"reference"`` (the original full
+    #: progressive-filling re-solve at every rate-change instant).  The
+    #: two are rate-for-rate equivalent — the differential suite in
+    #: ``tests/sim/test_allocator_differential.py`` enforces it — so
+    #: this knob only trades solver speed, never results.
+    allocator: str = "incremental"
+    #: Recycle completed :class:`~repro.sim.network.Flow` objects for
+    #: later transfers (kills per-flow allocation on the hot path).  A
+    #: completed flow handle stays readable until the pool reuses the
+    #: object; disable when holding handles across later starts.
+    pool_flows: bool = True
     #: Resilience protocol (active only under fault injection): a sync
     #: message unacknowledged after this long is retransmitted ...
     sync_retry_timeout: float = us(900)
@@ -155,6 +171,10 @@ class NetworkParams:
             raise ValueError("sync_backoff must be >= 1")
         if self.sync_max_retries < 0:
             raise ValueError("sync_max_retries must be non-negative")
+        if self.allocator not in ALLOCATORS:
+            raise ValueError(
+                f"allocator must be one of {ALLOCATORS}, got {self.allocator!r}"
+            )
 
     def speed_override(self, rank: str) -> float:
         """The injected slowdown factor for *rank* (1.0 if none)."""

@@ -181,3 +181,75 @@ class TestContentionPenalty:
         engine.run()
         # trunk capacity 0.8 * B shared by two flows
         assert times["a"] == pytest.approx(2e6 / (0.8 * params.bandwidth))
+
+
+class TestSameInstantBatching:
+    """Same-timestamp completion/start events must never double-complete.
+
+    Regression lockdown for the deadline-heap generation check: a flow
+    whose completion timer fires in the same engine batch as new flow
+    starts (which re-solve rates and re-queue deadlines) must fire its
+    ``on_complete`` exactly once — with and without flow pooling, under
+    both allocators.
+    """
+
+    @pytest.mark.parametrize("allocator", ["incremental", "reference"])
+    @pytest.mark.parametrize("pool", [True, False])
+    def test_completion_coinciding_with_start(self, allocator, pool):
+        engine, net, params = make_net(allocator=allocator, pool_flows=pool)
+        b = params.bandwidth
+        calls = {}
+
+        def record(tag):
+            def cb(flow):
+                calls[tag] = calls.get(tag, 0) + 1
+            return cb
+
+        # Two same-size flows on disjoint paths: both complete at
+        # exactly t=1.0; a third flow starts at precisely that instant
+        # (same engine timestamp, same batch).
+        net.start_flow("n0", "n1", b, record("a"), tag=1)
+        net.start_flow("n2", "n3", b, record("b"), tag=2)
+        engine.schedule(
+            1.0, lambda: net.start_flow("n0", "n2", b, record("c"), tag=3)
+        )
+        engine.run()
+        assert calls == {"a": 1, "b": 1, "c": 1}
+
+    @pytest.mark.parametrize("allocator", ["incremental", "reference"])
+    def test_completion_chain_at_one_instant(self, allocator):
+        """Completions whose callbacks start flows that also complete.
+
+        The settle loop folds callback-started flows into the same
+        instant; a flow started and (instantly re-rated) in that batch
+        must still complete exactly once, later.
+        """
+        engine, net, params = make_net(allocator=allocator)
+        b = params.bandwidth
+        calls = []
+
+        def chain(flow):
+            calls.append(("first", engine.now))
+            # Start the follow-up inside the completion callback: it
+            # joins the same engine batch at t=1.0.
+            net.start_flow("n1", "n2", b, lambda f: calls.append(("second", engine.now)))
+
+        net.start_flow("n0", "n1", b, chain)
+        engine.run()
+        assert calls == [("first", pytest.approx(1.0)), ("second", pytest.approx(2.0))]
+        assert net.active_flows == 0
+
+    def test_pooled_flow_handle_identity_not_confused(self):
+        """A pooled Flow object reused at the completion instant keeps
+        the two logical transfers' callbacks separate."""
+        engine, net, params = make_net(pool_flows=True)
+        b = params.bandwidth
+        seen = []
+        net.start_flow("n0", "n1", b, lambda f: seen.append(("a", f.fid)))
+        engine.schedule(
+            1.5, lambda: net.start_flow("n2", "n3", b, lambda f: seen.append(("b", f.fid)))
+        )
+        engine.run()
+        assert [s[0] for s in seen] == ["a", "b"]
+        assert seen[0][1] != seen[1][1]
+        assert net.flow_pool_reuses >= 1

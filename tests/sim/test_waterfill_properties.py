@@ -1,0 +1,180 @@
+"""Property-based invariants of the max-min waterfill.
+
+Hypothesis drives seeded random scenarios (topology, flow set, pause
+instant) through :class:`FlowNetwork` and checks, for **both**
+allocators, the properties any max-min allocation must satisfy at any
+instant:
+
+* **Capacity**: on every edge, the rate sum of the flows crossing it
+  stays within the edge's effective capacity.
+* **Max-min certificate**: every active flow has a *bottleneck* edge —
+  one that is saturated and on which no other flow gets a strictly
+  higher rate.  (A flow without such an edge could be sped up without
+  hurting anyone poorer, so the allocation would not be max-min.)
+* **Conservation**: after ``sync_progress()``, delivered bytes never
+  exceed injected bytes, and once every flow completed the two agree
+  to float tolerance; per-edge transported bytes agree with per-flow
+  sizes.
+* **Counter identity**: with a metrics registry active,
+  ``network.resolves_total >= network.flow_set_changes`` — the settle
+  loop consumes at least one re-solve per dirty transition — and both
+  stay positive for any scenario that moved bytes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics_registry import MetricsRegistry
+from repro.sim.engine import Engine
+from repro.sim.network import FlowNetwork
+from repro.sim.params import NetworkParams
+from repro.topology.builder import (
+    chain_of_switches,
+    random_tree,
+    single_switch,
+    star_of_switches,
+)
+
+#: Relative slack for float comparisons on rate sums and byte ledgers.
+REL = 1e-9
+
+
+def _topology(rng):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return single_switch(rng.randrange(3, 8))
+    if kind == 1:
+        return chain_of_switches([rng.randrange(2, 4) for _ in range(3)])
+    if kind == 2:
+        return star_of_switches([rng.randrange(2, 4) for _ in range(3)])
+    return random_tree(rng.randrange(5, 12), rng.randrange(2, 4), seed=rng.randrange(10**6))
+
+
+def _build_scenario(seed, allocator):
+    rng = random.Random(seed)
+    topo = _topology(rng)
+    params = NetworkParams(seed=seed, allocator=allocator)
+    engine = Engine()
+    net = FlowNetwork(engine, topo, params)
+    machines = list(topo.machines)
+    specs = []
+    t = 0.0
+    for i in range(rng.randrange(2, 25)):
+        src, dst = rng.sample(machines, 2)
+        nbytes = float(rng.choice([2048, 65536, 1 << 20])) * rng.uniform(0.5, 2.0)
+        if rng.random() < 0.4:
+            t += rng.uniform(0.0, 3e-3)
+        specs.append((src, dst, nbytes, t))
+    done = []
+    for src, dst, nbytes, start in specs:
+        engine.schedule(
+            start,
+            lambda src=src, dst=dst, nbytes=nbytes: net.start_flow(
+                src, dst, nbytes, lambda f: done.append(f.fid)
+            ),
+        )
+    return engine, net, specs, done
+
+
+def _edge_capacity(net, e, fids, now):
+    largest = max(net._flows[fid].size for fid in fids)
+    cap = net.params.effective_capacity(
+        len(fids),
+        largest,
+        net._endpoint_edge[e],
+        line_bandwidth=net._edge_bandwidth.get(e),
+    )
+    if net.injector is not None:
+        cap *= net.injector.link_factor(e, now)
+    return cap
+
+
+def _check_rate_invariants(net, now):
+    """Capacity + max-min bottleneck certificate on the live rate vector."""
+    caps = {}
+    for e, fids in net._edge_flows.items():
+        if not fids:
+            continue
+        caps[e] = _edge_capacity(net, e, fids, now)
+        rate_sum = sum(net._flows[fid].rate for fid in fids)
+        assert rate_sum <= caps[e] * (1 + REL) + 1e-6, (
+            f"edge {e} over capacity: {rate_sum} > {caps[e]}"
+        )
+    for flow in net._flows.values():
+        if flow.rate == 0.0:
+            continue
+        has_bottleneck = False
+        for e in flow.edges:
+            fids = net._edge_flows[e]
+            rate_sum = sum(net._flows[fid].rate for fid in fids)
+            saturated = rate_sum >= caps[e] * (1 - REL) - 1e-6
+            if not saturated:
+                continue
+            top = max(net._flows[fid].rate for fid in fids)
+            if flow.rate >= top * (1 - REL):
+                has_bottleneck = True
+                break
+        assert has_bottleneck, (
+            f"flow {flow.fid} ({flow.src}->{flow.dst}, rate {flow.rate}) "
+            "has no saturated bottleneck edge: not max-min"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6), allocator=st.sampled_from(["incremental", "reference"]))
+def test_waterfill_invariants(seed, allocator):
+    registry = MetricsRegistry()
+    with registry.activate():
+        engine, net, specs, done = _build_scenario(seed, allocator)
+        # Pause mid-run at a seeded instant: invariants must hold on the
+        # in-flight rate vector, not just at quiescence.
+        pause = random.Random(seed ^ 0xA5A5).uniform(1e-4, 5e-2)
+        engine.run(until=pause)
+        net.sync_progress()
+        if net._flows:
+            _check_rate_invariants(net, engine.now)
+        assert net.bytes_delivered <= net.bytes_injected * (1 + REL)
+        engine.run()
+        net.sync_progress()
+
+    # Every flow completed, and byte conservation holds exactly-ish.
+    assert len(done) == len(specs)
+    assert not net._flows
+    total = sum(nbytes for _, _, nbytes, _ in specs)
+    assert net.bytes_injected == pytest.approx(total, rel=REL)
+    assert net.bytes_delivered == pytest.approx(total, rel=REL)
+    # Per-edge transported bytes match the per-flow path sizes.
+    expected_edge = {}
+    oracle_paths = {}
+    for src, dst, nbytes, _ in specs:
+        key = (src, dst)
+        if key not in oracle_paths:
+            oracle_paths[key] = net.oracle.path_edges(src, dst)
+        for e in oracle_paths[key]:
+            expected_edge[e] = expected_edge.get(e, 0.0) + nbytes
+    assert set(net.edge_bytes) <= set(expected_edge)
+    for e, nbytes in net.edge_bytes.items():
+        assert nbytes == pytest.approx(expected_edge[e], rel=1e-6)
+
+    # Counter identity: one dirty transition never consumes more than
+    # one re-solve, so resolves >= flow-set changes; both are positive.
+    resolves = registry.get("network.resolves_total")
+    changes = registry.get("network.flow_set_changes")
+    assert resolves is not None and changes is not None
+    assert changes > 0
+    assert resolves >= changes
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_allocators_agree_on_final_clock(seed):
+    """Cheap cross-check: both allocators end the scenario at one instant."""
+    finals = {}
+    for allocator in ("reference", "incremental"):
+        engine, net, specs, done = _build_scenario(seed, allocator)
+        engine.run()
+        assert len(done) == len(specs)
+        finals[allocator] = engine.now
+    assert finals["incremental"] == pytest.approx(finals["reference"], rel=1e-9)
