@@ -53,6 +53,7 @@ from repro.harness.metrics import peak_throughput_mbps
 from repro.harness.report import (
     attribution_table,
     completion_table,
+    phase_audit_table,
     render_throughput_series,
     speedup_summary,
     throughput_table,
@@ -401,6 +402,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{bytes_per_sec_to_mbps(throughput):8.1f} Mbps agg   "
             f"max link multiplexing {result.max_edge_multiplexing}"
         )
+        phase_audit_summary = None
         if result.telemetry is not None:
             result.telemetry.pipeline = profile
             verdict = (
@@ -409,6 +411,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 else f"{result.telemetry.total_contention_events} contention events"
             )
             line += f"   [{verdict}]"
+            # Best-effort phase audit: the condensed verdict rides along
+            # in the ledger entry and the full report in the telemetry
+            # artifacts, but an audit failure never fails the run.
+            try:
+                from repro.obs.phase_audit import audit_phases
+
+                audit = audit_phases(result.telemetry, topo, programs)
+                result.telemetry.phase_audit = audit.as_dict()
+                phase_audit_summary = audit.summary_dict()
+            except Exception as exc:
+                logger.debug("phase audit failed for %s: %s", name, exc)
         print(line)
         if args.trace_out:
             path = _derived_path(args.trace_out, name, multiple)
@@ -432,6 +445,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ),
             pipeline=profile.as_dicts(),
             stats=result.stats,
+            phase_audit=phase_audit_summary,
         )
     _append_ledger(
         args,
@@ -630,6 +644,89 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_phases(args: argparse.Namespace) -> int:
+    """The phase observatory: predicted-vs-observed divergence audit.
+
+    Exit codes: 0 clean or merely divergent, 1 when contention was
+    observed inside a certified contention-free phase (the Theorem
+    broken — always fatal) or when ``--max-divergence`` is given and
+    the worst occupancy deviation exceeds it, 2 on usage errors.
+    """
+    import json
+
+    from repro.obs.ledger import AlgorithmEntry, topology_fingerprint
+    from repro.obs.ledger import parse_threshold
+    from repro.obs.phase_audit import audit_phases
+    from repro.obs.profiling import PipelineProfiler
+
+    topo = _load_topology(args.topology)
+    msize = parse_size(args.msize)
+    params = _make_params(args)
+    if args.no_noise:
+        params = params.without_noise()
+    tolerance = parse_threshold(args.tolerance)
+    max_divergence = (
+        parse_threshold(args.max_divergence)
+        if args.max_divergence is not None
+        else None
+    )
+    algorithm = get_algorithm(args.algorithm)
+    profiler = PipelineProfiler()
+    t0 = time.perf_counter()
+    with profiler.activate():
+        programs = algorithm.build_programs(topo, msize)
+    build_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = run_programs(
+        topo, programs, msize, params, telemetry=True,
+        max_trace_records=args.trace_cap,
+    )
+    sim_seconds = time.perf_counter() - t0
+    report = audit_phases(
+        result.telemetry, topo, programs, occupancy_tolerance=tolerance
+    )
+    result.telemetry.phase_audit = report.as_dict()
+    print(
+        f"{algorithm.describe(topo, msize)}  "
+        f"{seconds_to_ms(result.completion_time):.2f} ms"
+    )
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote phase-audit report {args.json_out}")
+    if args.trace_out:
+        result.telemetry.write_perfetto(args.trace_out)
+        print(f"wrote Perfetto trace {args.trace_out} "
+              f"(phase-audit divergence track; open at ui.perfetto.dev)")
+    throughput = result.aggregate_throughput(topo.num_machines, msize)
+    _append_ledger(
+        args,
+        command="phases",
+        topology_spec=args.topology,
+        fingerprint=topology_fingerprint(topo),
+        num_machines=topo.num_machines,
+        msize=msize,
+        params=params,
+        entries={
+            algorithm.name: AlgorithmEntry(
+                completion_time_ms=result.completion_time * 1e3,
+                throughput_mbps=bytes_per_sec_to_mbps(throughput),
+                scheduler_runtime_ms=build_seconds * 1e3,
+                sim_wall_ms=sim_seconds * 1e3,
+                phase_audit=report.summary_dict(),
+            )
+        },
+    )
+    problems = report.gate(
+        max_divergence if max_divergence is not None else float("inf")
+    )
+    for problem in problems:
+        print(f"PHASE AUDIT FAILURE: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_stp(args: argparse.Namespace) -> int:
     from repro.topology.physical_format import load_physical
     from repro.topology.serialization import dumps_topology
@@ -767,6 +864,7 @@ def _cmd_repro(args: argparse.Namespace) -> int:
                 "max_edge_multiplexing": p.max_edge_multiplexing,
                 "link_stats": p.link_stats.as_dict() if p.link_stats else None,
                 "attribution": p.attribution,
+                "phase_audit": p.phase_audit,
             }
             for p in result.points
         ]
@@ -782,6 +880,9 @@ def _cmd_repro(args: argparse.Namespace) -> int:
     if any(p.attribution for p in result.points):
         print()
         print(attribution_table(result))
+    if any(p.phase_audit for p in result.points):
+        print()
+        print(phase_audit_table(result))
     if args.plot:
         print()
         print(render_throughput_series(result))
@@ -801,6 +902,7 @@ def _cmd_repro(args: argparse.Namespace) -> int:
             ),
             telemetry=p.link_stats.as_dict() if p.link_stats else None,
             attribution=p.attribution,
+            phase_audit=p.phase_audit,
         )
     _append_ledger(
         args,
@@ -1081,6 +1183,19 @@ def _cmd_report_compare(args: argparse.Namespace) -> int:
     if not deltas:
         print("no comparable metrics between the two runs", file=sys.stderr)
         return 2
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "baseline": a.run_id,
+                "current": b.run_id,
+                "deltas": [d.as_dict() for d in deltas],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print(f"{a.run_id} -> {b.run_id}")
     for d in deltas:
         print(f"  {d}")
@@ -1129,6 +1244,25 @@ def _cmd_report_regress(args: argparse.Namespace) -> int:
         )
         return 2
     regressions = [d for d in deltas if d.ratio > 1.0 + threshold]
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "baseline": baseline.run_id,
+                "current": current.run_id,
+                "threshold": threshold,
+                "ok": not regressions,
+                "regressions": len(regressions),
+                "deltas": [
+                    {**d.as_dict(), "regression": d in regressions}
+                    for d in deltas
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 1 if regressions else 0
     print(
         f"baseline {baseline.run_id}  vs  {current.run_id}  "
         f"(threshold {threshold * 100:.1f}%)"
@@ -1143,6 +1277,54 @@ def _cmd_report_regress(args: argparse.Namespace) -> int:
         )
         return 1
     print("OK: all metrics within threshold")
+    return 0
+
+
+def _cmd_report_sentinel(args: argparse.Namespace) -> int:
+    """Anomaly sweep over the ledger's per-fingerprint time series."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs.ledger import RunLedger, parse_threshold
+    from repro.obs.sentinel import run_sentinel
+
+    ledger = RunLedger(args.ledger_dir)
+    # Tolerant read: a history sweep should skip unreadable records
+    # (future schemas, mid-file damage) rather than refuse the scan.
+    records = ledger.records(skip_unreadable=True)
+    if args.fingerprint:
+        records = [
+            r for r in records
+            if r.topology_fingerprint.startswith(args.fingerprint)
+        ]
+    if not records:
+        print(f"sentinel: no readable records in {ledger.path}")
+        return 0
+    try:
+        report = run_sentinel(
+            records,
+            metrics=args.metrics,
+            z_threshold=args.z_threshold,
+            step_threshold=parse_threshold(args.step_threshold),
+            min_points=args.min_points,
+        )
+    except ReproError as exc:
+        print(f"report sentinel: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote sentinel report {args.json_out}")
+    if args.fail_on_anomaly and report.regressions:
+        print(
+            f"FAIL: {len(report.regressions)} regression anomal"
+            f"{'y' if len(report.regressions) == 1 else 'ies'} in "
+            f"ledger history",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1326,6 +1508,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
+        "phases", parents=[common, ledger_opts],
+        help="phase observatory: audit predicted vs observed per-phase "
+             "link loads, contention and durations",
+    )
+    p.add_argument("topology", help="file path or builtin: a, b, c, fig1")
+    p.add_argument("--algorithm", default="generated",
+                   choices=available_algorithms())
+    p.add_argument("--msize", default="64KB", help="per-pair message size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--allocator", default="incremental",
+                   choices=list(ALLOCATORS),
+                   help="max-min rate solver (identical results; speed only)")
+    p.add_argument("--no-noise", action="store_true",
+                   help="disable stochastic latency noise (exact windows)")
+    p.add_argument("--tolerance", default="10%",
+                   help="occupancy ratio tolerance before a link counts as "
+                        "divergent, e.g. 10%% or 0.10 (default 10%%)")
+    p.add_argument("--max-divergence", default=None, metavar="FRACTION",
+                   help="exit non-zero when the worst occupancy deviation "
+                        "exceeds this fraction (e.g. 0.10 or 10%%); "
+                        "contention inside a certified contention-free "
+                        "phase always fails")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="write the schema-versioned phase-audit report JSON")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Perfetto trace with the per-phase "
+                        "divergence track")
+    p.add_argument("--trace-cap", type=int, default=None, metavar="N",
+                   help="ring-buffer cap on flight-recorder trace records")
+    p.set_defaults(func=_cmd_phases)
+
+    p = sub.add_parser(
         "stp", parents=[common],
         help="reduce a redundant physical wiring to its forwarding tree",
     )
@@ -1439,6 +1653,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metric deltas between two runs")
     p.add_argument("a", help="baseline run id / prefix / 'latest'")
     p.add_argument("b", help="current run id / prefix / 'latest'")
+    p.add_argument("--json", action="store_true",
+                   help="emit the deltas as JSON instead of a text table")
     p.set_defaults(func=_cmd_report_compare)
 
     p = rsub.add_parser(
@@ -1451,7 +1667,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run to check (default: latest)")
     p.add_argument("--threshold", default="5%",
                    help="allowed slowdown, e.g. 5%% or 0.05 (default 5%%)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the verdict and deltas as JSON (exit code "
+                        "still reflects the gate)")
     p.set_defaults(func=_cmd_report_regress)
+
+    p = rsub.add_parser(
+        "sentinel", parents=[common, rdir],
+        help="anomaly sweep over ledger history: changepoint + robust-z "
+             "per (topology, algorithm, metric) series",
+    )
+    p.add_argument("--metrics", nargs="+", default=None,
+                   help="restrict to named metrics (default: completion "
+                        "time, scheduler runtime, sim wall, attribution "
+                        "components)")
+    p.add_argument("--fingerprint", default=None, metavar="PREFIX",
+                   help="only scan runs whose topology fingerprint starts "
+                        "with this prefix")
+    p.add_argument("--z-threshold", type=float, default=4.0,
+                   help="robust z-score above which a point is an outlier "
+                        "(default 4.0)")
+    p.add_argument("--step-threshold", default="50%",
+                   help="relative median shift that counts as a step "
+                        "change, e.g. 50%% or 0.5 (default 50%%)")
+    p.add_argument("--min-points", type=int, default=5,
+                   help="series shorter than this are skipped (default 5)")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="write the schema-versioned sentinel report JSON")
+    p.add_argument("--fail-on-anomaly", action="store_true",
+                   help="exit non-zero when any regression anomaly is "
+                        "detected (CI gate)")
+    p.set_defaults(func=_cmd_report_sentinel)
     return parser
 
 

@@ -42,6 +42,24 @@ Block = Tuple[str, str]
 SYNC_TAG_BASE = 1_000_000
 
 
+def effective_round(phase: int, tag: int) -> int:
+    """The audit round of a data message: its phase, else its tag.
+
+    Phased algorithms stamp ops with an explicit ``phase``; collectives
+    and irregular patterns leave ``phase = -1`` but step their ``tag``
+    per round, so the tag is a faithful synthetic round index.  Sync
+    tags (``>= SYNC_TAG_BASE``) never name a round: those messages stay
+    in the unknown bucket (-1), as does anything with no usable index.
+    Static analysis and the flow collector both bucket through this
+    helper so predicted and observed loads join on the same key.
+    """
+    if phase >= 0:
+        return phase
+    if 0 <= tag < SYNC_TAG_BASE:
+        return tag
+    return -1
+
+
 class OpKind(enum.Enum):
     ISEND = "isend"
     IRECV = "irecv"

@@ -8,8 +8,12 @@ each edge must carry.  This is how the paper reasons about algorithms
 and it gives library users an instant, simulation-free diagnosis of an
 algorithm/topology pairing.
 
-The per-phase view takes each op's ``phase`` tag at face value (all
-phased algorithms in this library tag them); the byte totals are exact
+The per-phase view buckets each data op under its *effective round*
+(:func:`repro.core.program.effective_round`): the explicit ``phase``
+when the algorithm stamps one, else a synthetic round derived from the
+op's data tag — the same key the flow collector stamps on observed
+:class:`~repro.obs.link_metrics.FlowRecord`\\ s, so the phase observatory
+can join predictions with measurements.  The byte totals are exact
 regardless of phasing.
 """
 
@@ -19,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.profiling import add_counters, pipeline_span
-from repro.core.program import OpKind, Program
+from repro.core.program import OpKind, Program, effective_round
 from repro.topology.graph import Edge, Topology
 from repro.topology.paths import PathOracle
 
@@ -91,9 +95,13 @@ def analyze_programs(
                 if op.kind not in (OpKind.ISEND, OpKind.SEND):
                     continue
                 nbytes = op.wire_size(msize)
-                phase_messages.setdefault(op.phase, []).append(
-                    (rank, op.peer, nbytes)
-                )
+                # Bucket under the same effective round the flow
+                # collector stamps on FlowRecords, so predicted and
+                # observed per-phase loads join on one key even for
+                # unphased algorithms (collectives, alltoallv).
+                phase_messages.setdefault(
+                    effective_round(op.phase, op.tag), []
+                ).append((rank, op.peer, nbytes))
                 for edge in oracle.path_edges(rank, op.peer):
                     edge_bytes[edge] = edge_bytes.get(edge, 0) + nbytes
 

@@ -111,6 +111,46 @@ def attribution_table(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def phase_audit_table(result: ExperimentResult) -> str:
+    """Worst-phase divergence per cell, from the phase observatory.
+
+    One column per algorithm; each cell shows the instrumented
+    repetition's verdict against the static per-phase link-load model:
+    ``ok`` (every phase within tolerance), the worst occupancy
+    deviation for divergent cells, or ``VIOLATION`` when contention was
+    observed inside a certified contention-free phase — the paper's
+    theorem broken at run time.  Cells without an audit (telemetry off,
+    eager-only sizes) render as ``--``.
+    """
+    algorithms = result.algorithms()
+    sizes = result.sizes()
+    width = max(22, *(len(a) + 2 for a in algorithms))
+    header = ["msize".rjust(8)] + [a.rjust(width) for a in algorithms]
+    lines = ["phase audit (worst divergence vs static model per cell):",
+             " ".join(header)]
+    for msize in sizes:
+        row = [format_size(msize).rjust(8)]
+        for a in algorithms:
+            point = result.cell(a, msize)
+            audit = point.phase_audit
+            if not audit:
+                row.append("--".rjust(width))
+                continue
+            worst = point.worst_phase_divergence
+            if worst == float("inf"):
+                cell = f"VIOLATION x{audit.get('violations', 0)}"
+            elif audit.get("divergent_rows"):
+                cell = (
+                    f"divergent {worst * 100:.1f}% "
+                    f"({audit.get('contention_events', 0)} contended)"
+                )
+            else:
+                cell = f"ok {worst * 100:.1f}%"
+            row.append(cell.rjust(width))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
 def speedup_summary(
     result: ExperimentResult, ours: str = "generated"
 ) -> str:

@@ -52,12 +52,30 @@ class MeasurementPoint:
     #: (:mod:`repro.obs.attribution` report dict, without the path);
     #: tells which component dominates the gap at this cell's size.
     attribution: Optional[Dict[str, object]] = None
+    #: Phase-observatory summary of the instrumented repetition
+    #: (:meth:`repro.obs.phase_audit.PhaseAuditReport.summary_dict`):
+    #: did the observed per-link loads match the static model, phase by
+    #: phase?  None when the cell ran without telemetry or with no
+    #: observable flows (pure-eager sizes).
+    phase_audit: Optional[Dict[str, object]] = None
 
     @property
     def dominant_component(self) -> Optional[str]:
         if self.attribution is None:
             return None
         return self.attribution.get("dominant_component")  # type: ignore[return-value]
+
+    @property
+    def worst_phase_divergence(self) -> Optional[float]:
+        """Worst occupancy deviation across phases; ``inf`` on a
+        contention violation inside a certified phase, None when the
+        cell carried no phase audit."""
+        if self.phase_audit is None:
+            return None
+        if self.phase_audit.get("violations"):
+            return float("inf")
+        dev = self.phase_audit.get("max_occupancy_deviation", 0.0)
+        return float(dev) if dev is not None else 0.0
 
 
 @dataclass
@@ -135,6 +153,7 @@ def run_experiment(
             max_mux = 0
             link_stats: Optional[LinkSummary] = None
             attribution: Optional[Dict[str, object]] = None
+            phase_audit: Optional[Dict[str, object]] = None
             for i, seed in enumerate(workload.seeds()):
                 run = run_programs(
                     topology,
@@ -155,6 +174,9 @@ def run_experiment(
                     attribution = _attribute(
                         run.telemetry, topology, algorithm.name
                     )
+                    phase_audit = _audit(
+                        run.telemetry, topology, programs, oracle
+                    )
             mean, lo, hi = completion_stats(samples)
             result.points.append(
                 MeasurementPoint(
@@ -173,6 +195,7 @@ def run_experiment(
                     link_stats=link_stats,
                     build_time=build_time,
                     attribution=attribution,
+                    phase_audit=phase_audit,
                 )
             )
     return result
@@ -194,3 +217,27 @@ def _attribute(telemetry, topology, algorithm) -> Optional[Dict[str, object]]:
     return {
         k: v for k, v in report.as_dict().items() if k != "critical_path"
     }
+
+
+def _audit(
+    telemetry, topology, programs, oracle
+) -> Optional[Dict[str, object]]:
+    """Phase-observatory summary for one instrumented run.
+
+    Best-effort like :func:`_attribute`: a run whose flows cannot be
+    joined against the static model (telemetry truncated by a trace
+    cap, no rendezvous flows at eager sizes) yields ``None``.
+    """
+    from repro.obs.phase_audit import audit_phases
+
+    from repro.obs.phase_audit import VERDICT_UNOBSERVED
+
+    try:
+        report = audit_phases(telemetry, topology, programs, oracle=oracle)
+    except ReproError:
+        return None
+    if not report.num_phases or all(
+        r.verdict == VERDICT_UNOBSERVED for r in report.rows
+    ):
+        return None
+    return report.summary_dict()

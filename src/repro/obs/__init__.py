@@ -36,6 +36,13 @@ makes the offline pipeline that produces it measurable:
   (``repro-aapc top``, ``--stats-out``).
 * :mod:`repro.obs.dashboard` — self-contained static HTML dashboard
   generated from the ledger (``repro-aapc dash``).
+* :mod:`repro.obs.phase_audit` — the phase observatory: joins the
+  static per-phase link-load model with observed flows and flags
+  divergence, including contention inside certified contention-free
+  phases (``repro-aapc phases``).
+* :mod:`repro.obs.sentinel` — changepoint/robust-z anomaly detection
+  over per-fingerprint ledger time series (``repro-aapc report
+  sentinel``).
 * :mod:`repro.obs.causal` — happens-before DAG reconstruction from the
   recorded events, critical-path extraction and per-flow/per-sync slack.
 * :mod:`repro.obs.attribution` — decomposition of the gap between the
@@ -100,6 +107,14 @@ _EXPORTS = {
     "find_regressions": "repro.obs.ledger",
     "compare_records": "repro.obs.ledger",
     "ensure_same_fault_partition": "repro.obs.ledger",
+    "PhaseAuditReport": "repro.obs.phase_audit",
+    "PhaseDivergence": "repro.obs.phase_audit",
+    "PhaseWindow": "repro.obs.phase_audit",
+    "audit_phases": "repro.obs.phase_audit",
+    "SentinelAnomaly": "repro.obs.sentinel",
+    "SentinelReport": "repro.obs.sentinel",
+    "run_sentinel": "repro.obs.sentinel",
+    "extract_series": "repro.obs.sentinel",
     "CausalAnalysis": "repro.obs.causal",
     "PathSegment": "repro.obs.causal",
     "analyze": "repro.obs.causal",
@@ -184,6 +199,18 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from repro.obs.monitor import MonitorConfig, RunMonitor, render_top_table
     from repro.obs.perfetto import perfetto_trace, write_perfetto
+    from repro.obs.phase_audit import (
+        PhaseAuditReport,
+        PhaseDivergence,
+        PhaseWindow,
+        audit_phases,
+    )
+    from repro.obs.sentinel import (
+        SentinelAnomaly,
+        SentinelReport,
+        extract_series,
+        run_sentinel,
+    )
     from repro.obs.profiling import (
         PipelineProfile,
         PipelineProfiler,

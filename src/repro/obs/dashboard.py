@@ -11,7 +11,14 @@ from being compared as like-for-like) and each group renders:
   paper's ``load/B`` bound goes, per run and algorithm),
 * **hot-loop counter trends** from the ``stats`` blocks the metrics
   registry appends (events processed, max-min re-solves, syncs posted)
-  — the evidence base for the engine/solver vectorisation work.
+  — the evidence base for the engine/solver vectorisation work,
+* the **phase-audit heatmap** — one cell per (run × algorithm, phase)
+  colored by the phase observatory's verdict, so a contention
+  violation or occupancy divergence anywhere in history is one glance
+  away,
+* the **sentinel timeline** — the regression sentinel's
+  changepoint/robust-z anomalies plotted against the group's run
+  axis, marking exactly where a metric stepped or spiked.
 
 Charts are hand-emitted inline SVG: series colors come from a fixed
 categorical palette (assigned per algorithm across the whole document,
@@ -222,8 +229,227 @@ def _render_group(
             )
         parts.append("</div>")
 
+    # Phase-audit heatmap (runs that carried a phase observatory pass).
+    heat_rows: List[Tuple[str, Dict[int, str]]] = []
+    for r, label in zip(records, labels):
+        for name in sorted(r.algorithms):
+            audit = getattr(r.algorithms[name], "phase_audit", None)
+            if not audit:
+                continue
+            verdicts = {
+                int(phase): str(verdict)
+                for phase, verdict in (
+                    audit.get("phase_verdicts") or {}
+                ).items()
+            }
+            if verdicts:
+                heat_rows.append((f"{label} {name}", verdicts))
+    if heat_rows:
+        parts.append(
+            _phase_heatmap(
+                f"phases-{fingerprint}",
+                "Phase-audit verdicts (phase observatory)",
+                heat_rows,
+            )
+        )
+
+    # Sentinel timeline: anomalies over this group's history.
+    parts.append(_sentinel_panel(fingerprint, records, labels))
+
     parts.append("</section>")
     return "\n".join(parts)
+
+
+#: Verdict -> palette slot for the phase heatmap (shared swatch CSS).
+_VERDICT_SLOTS = (
+    ("ok", 2),                     # green
+    ("divergent", 3),              # amber
+    ("contention-violation", 7),   # red
+    ("unobserved", 4),             # muted pink
+)
+
+
+def _phase_heatmap(
+    chart_id: str,
+    title: str,
+    rows: List[Tuple[str, Dict[int, str]]],
+) -> str:
+    """Grid of per-phase verdicts: one row per run × algorithm."""
+    slot_of = dict(_VERDICT_SLOTS)
+    phases = sorted({p for _, verdicts in rows for p in verdicts})
+    cell, gap, label_w = 22, 3, 170
+    w = label_w + len(phases) * (cell + gap) + 16
+    h = 26 + len(rows) * (cell + gap) + 8
+    out = [
+        f"<figure class='chart' id='{html.escape(chart_id)}'>",
+        f"<figcaption>{html.escape(title)}</figcaption>",
+        f"<svg viewBox='0 0 {w} {h}' role='img' "
+        f"aria-label='{html.escape(title)}'>",
+    ]
+    for j, phase in enumerate(phases):
+        x = label_w + j * (cell + gap) + cell / 2.0
+        out.append(
+            f"<text class='tick' x='{x:.1f}' y='14' "
+            f"text-anchor='middle'>{phase}</text>"
+        )
+    for i, (label, verdicts) in enumerate(rows):
+        y = 26 + i * (cell + gap)
+        out.append(
+            f"<text class='tick' x='{label_w - 8}' "
+            f"y='{y + cell / 2.0 + 3.5:.1f}' text-anchor='end'>"
+            f"{html.escape(label[:24])}</text>"
+        )
+        for j, phase in enumerate(phases):
+            verdict = verdicts.get(phase)
+            if verdict is None:
+                continue
+            x = label_w + j * (cell + gap)
+            slot = slot_of.get(verdict, 0)
+            tip = f"{label} &middot; phase {phase}: {verdict}"
+            out.append(
+                f"<rect class='fill s{slot}' x='{x}' y='{y}' "
+                f"width='{cell}' height='{cell}' rx='3' "
+                f"data-tip=\"{html.escape(tip, quote=True)}\"/>"
+            )
+    out.append("</svg>")
+    out.append("<div class='legend'>")
+    for verdict, slot in _VERDICT_SLOTS:
+        out.append(
+            f"<span class='key'><span class='swatch s{slot}'></span>"
+            f"{html.escape(verdict)}</span>"
+        )
+    out.append("</div>")
+    head = "".join(f"<th>phase {p}</th>" for p in phases)
+    body = []
+    for label, verdicts in rows:
+        cells = "".join(
+            f"<td>{html.escape(verdicts.get(p, '&mdash;'))}</td>"
+            if verdicts.get(p) is not None
+            else "<td>&mdash;</td>"
+            for p in phases
+        )
+        body.append(
+            f"<tr><th scope='row'>{html.escape(label)}</th>{cells}</tr>"
+        )
+    out.append(
+        "<details><summary>Data table</summary><table>"
+        f"<thead><tr><th>run</th>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table></details>"
+    )
+    out.append("</figure>")
+    return "\n".join(out)
+
+
+def _sentinel_panel(
+    fingerprint: str, records: List[object], labels: List[str]
+) -> str:
+    """Regression-sentinel anomalies on the group's run axis."""
+    from repro.obs.sentinel import run_sentinel
+
+    try:
+        report = run_sentinel(records)
+    except Exception:
+        return ""
+    index_of = {r.run_id: i for i, r in enumerate(records)}
+    anomalies = [
+        a for a in report.anomalies if a.point.run_id in index_of
+    ]
+    if not anomalies:
+        return (
+            "<p class='empty'>Sentinel: no anomalies in "
+            f"{report.series_scanned} series.</p>"
+        )
+    lanes = sorted(
+        {f"{a.key.algorithm} {a.key.metric}" for a in anomalies}
+    )
+    lane_of = {lane: i for i, lane in enumerate(lanes)}
+    cell, label_w = 24, 230
+    n = len(records)
+    w = label_w + max(n, 1) * cell + 16
+    h = 26 + len(lanes) * cell + 8
+    out = [
+        f"<figure class='chart' id='sentinel-{html.escape(fingerprint)}'>",
+        "<figcaption>Sentinel timeline (anomalies over ledger "
+        "history)</figcaption>",
+        f"<svg viewBox='0 0 {w} {h}' role='img' "
+        "aria-label='Sentinel timeline'>",
+    ]
+    step = max(1, n // 8)
+    for i, label in enumerate(labels):
+        if i % step and i != n - 1:
+            continue
+        x = label_w + i * cell + cell / 2.0
+        out.append(
+            f"<text class='tick' x='{x:.1f}' y='14' "
+            f"text-anchor='middle'>{html.escape(label[-6:])}</text>"
+        )
+    for lane, i in lane_of.items():
+        y = 26 + i * cell
+        out.append(
+            f"<text class='tick' x='{label_w - 8}' "
+            f"y='{y + cell / 2.0 + 3.5:.1f}' text-anchor='end'>"
+            f"{html.escape(lane[:32])}</text>"
+        )
+        out.append(
+            f"<line class='grid' x1='{label_w}' "
+            f"y1='{y + cell / 2.0:.1f}' x2='{w - 8}' "
+            f"y2='{y + cell / 2.0:.1f}'/>"
+        )
+    for a in anomalies:
+        i = index_of[a.point.run_id]
+        lane = lane_of[f"{a.key.algorithm} {a.key.metric}"]
+        x = label_w + i * cell + cell / 2.0
+        y = 26 + lane * cell + cell / 2.0
+        slot = 7 if a.direction == "regression" else 2
+        score = "inf" if a.score == float("inf") else f"{a.score:.2f}"
+        tip = (
+            f"{a.key.algorithm} {a.key.metric} &middot; {a.kind} at "
+            f"{a.point.run_id}: {format_duration_ms(a.baseline)} &rarr; "
+            f"{format_duration_ms(a.point.value)} (score {score}, "
+            f"{a.direction})"
+        )
+        if a.kind == "step":
+            out.append(
+                f"<rect class='fill s{slot}' x='{x - 5:.1f}' "
+                f"y='{y - 5:.1f}' width='10' height='10' "
+                f"data-tip=\"{html.escape(tip, quote=True)}\"/>"
+            )
+        else:
+            out.append(
+                f"<circle class='mark s{slot}' cx='{x:.1f}' "
+                f"cy='{y:.1f}' r='5' "
+                f"data-tip=\"{html.escape(tip, quote=True)}\"/>"
+            )
+    out.append("</svg>")
+    out.append(
+        "<div class='legend'>"
+        "<span class='key'><span class='swatch s7'></span>regression"
+        "</span>"
+        "<span class='key'><span class='swatch s2'></span>improvement"
+        "</span>"
+        "<span class='key'>square = step, dot = outlier</span>"
+        "</div>"
+    )
+    body = []
+    for a in anomalies:
+        body.append(
+            f"<tr><th scope='row'>{html.escape(a.point.run_id)}</th>"
+            f"<td>{html.escape(a.key.algorithm)}</td>"
+            f"<td>{html.escape(a.key.metric)}</td>"
+            f"<td>{html.escape(a.kind)}</td>"
+            f"<td>{html.escape(format_duration_ms(a.baseline))}</td>"
+            f"<td>{html.escape(format_duration_ms(a.point.value))}</td>"
+            f"<td>{html.escape(a.direction)}</td></tr>"
+        )
+    out.append(
+        "<details><summary>Data table</summary><table>"
+        "<thead><tr><th>run</th><th>algorithm</th><th>metric</th>"
+        "<th>kind</th><th>baseline</th><th>value</th><th>direction</th>"
+        "</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table></details>"
+    )
+    out.append("</figure>")
+    return "\n".join(out)
 
 
 # ----------------------------------------------------------------------

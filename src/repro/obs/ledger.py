@@ -109,6 +109,12 @@ class AlgorithmEntry:
     #: Hot-path metrics snapshot (the schema-versioned ``stats``
     #: envelope from :mod:`repro.obs.metrics_registry`).
     stats: Optional[Dict[str, object]] = None
+    #: Condensed phase-observatory verdict
+    #: (``PhaseAuditReport.summary_dict()``): per-phase predicted-vs-
+    #: observed divergence counts and the contention-free certificate
+    #: check, kept per run so the dashboard can heatmap phase health
+    #: over history.
+    phase_audit: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -128,6 +134,8 @@ class AlgorithmEntry:
             data["attribution"] = self.attribution
         if self.stats is not None:
             data["stats"] = self.stats
+        if self.phase_audit is not None:
+            data["phase_audit"] = self.phase_audit
         return data
 
     @classmethod
@@ -144,6 +152,7 @@ class AlgorithmEntry:
             pipeline=data.get("pipeline"),
             attribution=data.get("attribution"),
             stats=stats,
+            phase_audit=data.get("phase_audit"),
         )
 
 
@@ -312,15 +321,22 @@ class RunLedger:
         )
         return self.path
 
-    def records(self) -> List[RunRecord]:
+    def records(self, *, skip_unreadable: bool = False) -> List[RunRecord]:
         """All records, oldest first.
 
         A corrupt or truncated *final* line — the signature of a crash
         or full disk mid-append — is skipped with a logged warning so
-        one bad shutdown does not brick the whole ledger.  Corruption
-        anywhere *before* the last line still raises: that is not a
-        torn append but real damage, and silently dropping records
-        would skew every later comparison.
+        one bad shutdown does not brick the whole ledger.  By default,
+        corruption anywhere *before* the last line still raises: that
+        is not a torn append but real damage, and silently dropping
+        records would skew every later comparison.
+
+        With ``skip_unreadable=True`` (the sentinel's history scan),
+        every unreadable line — mid-file corruption *and* records from
+        a newer schema this version cannot parse — is skipped with a
+        warning instead: a time-series sweep over months of history
+        should degrade gracefully rather than refuse to look at
+        anything because one record is from the future.
         """
         if not os.path.exists(self.path):
             return []
@@ -345,10 +361,30 @@ class RunLedger:
                         exc,
                     )
                     continue
+                if skip_unreadable:
+                    logger.warning(
+                        "ledger: skipping corrupt line %d in %s: %s",
+                        lineno,
+                        self.path,
+                        exc,
+                    )
+                    continue
                 raise ReproError(
                     f"corrupt ledger line {lineno} in {self.path}: {exc}"
                 ) from exc
-            out.append(RunRecord.from_dict(data))
+            try:
+                out.append(RunRecord.from_dict(data))
+            except ReproError as exc:
+                if skip_unreadable:
+                    logger.warning(
+                        "ledger: skipping unreadable record on line %d "
+                        "in %s: %s",
+                        lineno,
+                        self.path,
+                        exc,
+                    )
+                    continue
+                raise
         return out
 
     def find(self, ref: str, fault_fingerprint=_ANY_FAULT) -> RunRecord:
@@ -455,6 +491,20 @@ class MetricDelta:
     @property
     def change_percent(self) -> float:
         return (self.ratio - 1.0) * 100.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``report compare/regress --json``)."""
+        ratio = self.ratio
+        return {
+            "algorithm": self.algorithm,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": None if ratio == float("inf") else ratio,
+            "change_percent": (
+                None if ratio == float("inf") else self.change_percent
+            ),
+        }
 
     def _render(self, value: float) -> str:
         """Human-readable value: durations get auto-picked units."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.program import effective_round
 from repro.obs.bus import Edge, EventBus, FlowFinished, FlowStarted, LinkOccupancy
 
 #: Guard against zero-duration flows when computing achieved rates.
@@ -45,6 +46,11 @@ class FlowRecord:
     end: float
     num_links: int
     #: MPI tag / schedule phase of the carried message (-1 = unknown).
+    #: ``phase`` is the *effective round*: the op's schedule phase when
+    #: it has one, else a synthetic round derived from its data tag
+    #: (see :func:`repro.core.program.effective_round`), so flows from
+    #: unphased algorithms audit per round instead of collapsing into
+    #: one unknown bucket.
     tag: int = -1
     phase: int = -1
     #: Directed edges of the flow's path (empty when unobserved).
@@ -172,7 +178,7 @@ class LinkMetricsCollector:
                 end=ev.time,
                 num_links=len(path),
                 tag=ev.tag,
-                phase=ev.phase,
+                phase=effective_round(ev.phase, ev.tag),
                 path=path,
             )
         )

@@ -25,6 +25,12 @@ Produces the classic Trace Event Format (loadable by both
   duration slice per declared fault window (open-ended windows are
   clipped to the completion time) plus an instant per sync disruption /
   retransmit / abandonment, so chaos lines up with rank stalls.
+* **phase audit** (pid 8) — when a phase-observatory audit is attached
+  (``repro-aapc phases --trace-out`` / :func:`~repro.obs.phase_audit.
+  audit_phases`): one slice per audited phase over its observed window,
+  named by its verdict, with the predicted-vs-observed byte totals,
+  contention events and duration ratio in the args — the divergence
+  report laid out on the run's own timeline.
 * **critical path** (pid 7) — when a causal analysis is attached to the
   telemetry (``repro-aapc explain`` / ``explain_telemetry``): one lane
   per rank plus a *wire* lane, each critical-path segment a slice named
@@ -53,6 +59,7 @@ _PID_PHASES = 4
 _PID_PIPELINE = 5
 _PID_FAULTS = 6
 _PID_CRITICAL = 7
+_PID_PHASE_AUDIT = 8
 
 
 def _us(t: float) -> float:
@@ -257,6 +264,73 @@ def perfetto_events(telemetry: "RunTelemetry") -> List[dict]:
     # --- critical-path track + flow arrows ---------------------------
     if telemetry.causal is not None and telemetry.causal.segments:
         events.extend(_critical_path_events(telemetry.causal, rank_tid))
+
+    # --- phase-audit divergence track --------------------------------
+    phase_audit = getattr(telemetry, "phase_audit", None)
+    if phase_audit:
+        events.extend(_phase_audit_events(phase_audit))
+    return events
+
+
+def _phase_audit_events(audit: Dict[str, object]) -> List[dict]:
+    """Divergence track (pid 8) from an attached phase-audit dict.
+
+    One lane, one slice per audited phase spanning its observed
+    window; the slice name leads with the verdict so a violation is
+    legible without expanding args.
+    """
+    events: List[dict] = [
+        _meta(_PID_PHASE_AUDIT, "phase audit"),
+        _meta(_PID_PHASE_AUDIT, "predicted vs observed", 0, thread=True),
+    ]
+    rows = audit.get("rows") or []
+    by_phase: Dict[int, List[dict]] = {}
+    for row in rows:
+        by_phase.setdefault(int(row.get("phase", -1)), []).append(row)
+    verdicts = (audit.get("summary") or {}).get("phase_verdicts") or {}
+    for window in audit.get("windows") or []:
+        phase = int(window.get("phase", -1))
+        start_ms = float(window.get("start_ms", 0.0))
+        span_ms = float(window.get("span_ms", 0.0))
+        phase_rows = by_phase.get(phase, [])
+        verdict = verdicts.get(str(phase), "ok")
+        name = (
+            f"phase {phase}: {verdict}"
+            if verdict != "ok"
+            else f"phase {phase} ok"
+        )
+        events.append(
+            {
+                "name": name,
+                "cat": "phase_audit",
+                "ph": "X",
+                "ts": start_ms * 1e3,
+                "dur": span_ms * 1e3,
+                "pid": _PID_PHASE_AUDIT,
+                "tid": 0,
+                "args": {
+                    "verdict": verdict,
+                    "barrier_skew_ms": window.get("barrier_skew_ms"),
+                    "predicted_bytes": sum(
+                        float(r.get("predicted_bytes", 0.0))
+                        for r in phase_rows
+                    ),
+                    "observed_bytes": sum(
+                        float(r.get("observed_bytes", 0.0))
+                        for r in phase_rows
+                    ),
+                    "contention_events": sum(
+                        int(r.get("contention_events", 0))
+                        for r in phase_rows
+                    ),
+                    "divergent_links": [
+                        r.get("link")
+                        for r in phase_rows
+                        if r.get("verdict") not in ("ok", None)
+                    ],
+                },
+            }
+        )
     return events
 
 

@@ -1,0 +1,452 @@
+"""Regression sentinel: anomaly detection over ledger time series.
+
+The run ledger accumulates per-algorithm metrics run after run —
+completion time, scheduler runtime, ``sim_wall_ms``, attribution
+components — but nothing watched that history: a regression that lands
+*between* two explicitly compared runs slides by silently.  The
+sentinel closes the gap.  It partitions ledger records into series
+keyed by ``(topology fingerprint, fault partition, algorithm,
+metric)`` — never mixing clusters, chaos plans or algorithms — and
+runs two detectors over each series:
+
+* **step changes** (changepoint): recursively find the split whose
+  before/after medians differ by more than ``step_threshold``
+  (relative), the signature of a lasting regression such as the 2×
+  scheduler-runtime jump a bad commit introduces;
+* **point outliers** (robust z): within each step-stable segment,
+  score points against the segment's median/MAD; a point whose robust
+  z-score exceeds ``z_threshold`` is a one-off spike (noise, a loaded
+  CI host) rather than a lasting shift.
+
+Medians and MAD make both detectors robust to the outliers they hunt.
+Series shorter than ``min_points`` are skipped — a single-entry
+history is healthy, not anomalous.  Anomalies are ranked worst-first
+and rendered as a table, a schema-versioned JSON artifact and a
+non-zero exit under ``report sentinel --fail-on-anomaly``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.obs.ledger import RunRecord
+from repro.units import format_duration_ms
+
+#: Version of the sentinel report schema.
+SENTINEL_SCHEMA_VERSION = 1
+
+#: Ledger metrics scanned by default (all "lower is better" durations).
+SENTINEL_METRICS = ("completion_time_ms", "scheduler_runtime_ms", "sim_wall_ms")
+
+#: 1 / Φ⁻¹(3/4): scales MAD to a consistent σ estimate for normals.
+_MAD_SIGMA = 1.4826
+
+KIND_STEP = "step"
+KIND_OUTLIER = "outlier"
+
+#: Default detector knobs.
+DEFAULT_Z_THRESHOLD = 4.0
+DEFAULT_STEP_THRESHOLD = 0.5
+DEFAULT_MIN_POINTS = 5
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measurement in a per-fingerprint ledger time series."""
+
+    index: int
+    run_id: str
+    timestamp: str
+    value: float
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    """What a series is *of* — the partition the sentinel never mixes."""
+
+    fingerprint: str
+    fault_fingerprint: Optional[str]
+    algorithm: str
+    metric: str
+
+    def label(self) -> str:
+        fault = self.fault_fingerprint or "clean"
+        return (
+            f"{self.fingerprint[:8]}/{fault[:8] if fault != 'clean' else fault}"
+            f" {self.algorithm} {self.metric}"
+        )
+
+
+@dataclass(frozen=True)
+class SentinelAnomaly:
+    """One detected anomaly, tied back to the ledger run that caused it."""
+
+    key: SeriesKey
+    kind: str  # "step" | "outlier"
+    point: SeriesPoint
+    #: Median of the reference segment the point was scored against.
+    baseline: float
+    #: Robust z for outliers; relative median shift for steps.
+    score: float
+    direction: str  # "regression" | "improvement"
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline <= 0:
+            return float("inf") if self.point.value > 0 else 1.0
+        return self.point.value / self.baseline
+
+    def describe(self) -> str:
+        what = (
+            f"step to {self.ratio:.2f}x"
+            if self.kind == KIND_STEP
+            else f"outlier z={self.score:.1f}"
+        )
+        return (
+            f"{self.key.label():<52s} {what:<18s} "
+            f"{format_duration_ms(self.baseline):>10s} -> "
+            f"{format_duration_ms(self.point.value):<10s} "
+            f"at {self.point.run_id} [{self.direction}]"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.key.fingerprint,
+            "fault_fingerprint": self.key.fault_fingerprint,
+            "algorithm": self.key.algorithm,
+            "metric": self.key.metric,
+            "kind": self.kind,
+            "index": self.point.index,
+            "run_id": self.point.run_id,
+            "timestamp": self.point.timestamp,
+            "value": self.point.value,
+            "baseline": self.baseline,
+            "ratio": None if self.ratio == float("inf") else self.ratio,
+            "score": self.score,
+            "direction": self.direction,
+        }
+
+
+@dataclass
+class SentinelReport:
+    """Everything one sentinel sweep found."""
+
+    series_scanned: int
+    points_scanned: int
+    skipped_series: int
+    anomalies: List[SentinelAnomaly]
+    z_threshold: float
+    step_threshold: float
+    min_points: int
+
+    @property
+    def regressions(self) -> List[SentinelAnomaly]:
+        return [a for a in self.anomalies if a.direction == "regression"]
+
+    def summary(self) -> str:
+        lines = [
+            f"sentinel: scanned {self.series_scanned} series "
+            f"({self.points_scanned} points; {self.skipped_series} too "
+            f"short to judge, min {self.min_points})"
+        ]
+        if not self.anomalies:
+            lines.append("no anomalies detected")
+            return "\n".join(lines)
+        lines.append(
+            f"{len(self.anomalies)} anomalies "
+            f"({len(self.regressions)} regressions), worst first:"
+        )
+        for anomaly in self.anomalies:
+            lines.append("  " + anomaly.describe())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SENTINEL_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "series_scanned": self.series_scanned,
+            "points_scanned": self.points_scanned,
+            "skipped_series": self.skipped_series,
+            "thresholds": {
+                "z": self.z_threshold,
+                "step": self.step_threshold,
+                "min_points": self.min_points,
+            },
+            "anomalies": [a.as_dict() for a in self.anomalies],
+        }
+
+
+# ----------------------------------------------------------------------
+# series extraction
+# ----------------------------------------------------------------------
+def _entry_metrics(entry) -> Dict[str, float]:
+    """Scalar time series a ledger algorithm entry contributes."""
+    out: Dict[str, float] = {}
+    for metric in SENTINEL_METRICS:
+        value = getattr(entry, metric, None)
+        if value is not None:
+            out[metric] = float(value)
+    attribution = entry.attribution or {}
+    components = attribution.get("components_ms")
+    if isinstance(components, dict):
+        for name, value in components.items():
+            if isinstance(value, (int, float)):
+                out[f"attribution.{name}_ms"] = float(value)
+    return out
+
+
+def extract_series(
+    records: Iterable[RunRecord],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[SeriesKey, List[SeriesPoint]]:
+    """Partition ledger records into per-fingerprint metric series.
+
+    Records are assumed oldest-first (ledger order).  *metrics* limits
+    the scan to named metrics (prefix match for ``attribution.``).
+    """
+    series: Dict[SeriesKey, List[SeriesPoint]] = {}
+    for record in records:
+        for algorithm, entry in sorted(record.algorithms.items()):
+            for metric, value in sorted(_entry_metrics(entry).items()):
+                if metrics is not None and metric not in metrics:
+                    continue
+                key = SeriesKey(
+                    fingerprint=record.topology_fingerprint,
+                    fault_fingerprint=record.fault_fingerprint,
+                    algorithm=algorithm,
+                    metric=metric,
+                )
+                points = series.setdefault(key, [])
+                points.append(
+                    SeriesPoint(
+                        index=len(points),
+                        run_id=record.run_id,
+                        timestamp=record.timestamp,
+                        value=value,
+                    )
+                )
+    return series
+
+
+# ----------------------------------------------------------------------
+# detectors
+# ----------------------------------------------------------------------
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _mad(values: Sequence[float], center: float) -> float:
+    return _median([abs(v - center) for v in values])
+
+
+def _relative_shift(before: float, after: float) -> float:
+    denom = max(abs(before), 1e-12)
+    return abs(after - before) / denom
+
+
+def _best_split(
+    values: Sequence[float], lo: int, hi: int, min_seg: int
+) -> Optional[Tuple[int, float, float, float]]:
+    """The split that best explains ``values[lo:hi]`` as two levels.
+
+    Chooses the split minimizing the L1 cost around the two segment
+    medians (robust changepoint location: maximizing the raw median
+    shift instead would let noise wiggles drag the boundary away from
+    the true level change).  Returns ``(split, shift, median_before,
+    median_after)`` for the best split index with at least *min_seg*
+    points on each side, or None when the segment is too short.
+    """
+    best: Optional[Tuple[int, float, float, float]] = None
+    best_cost = float("inf")
+    for split in range(lo + min_seg, hi - min_seg + 1):
+        before = _median(values[lo:split])
+        after = _median(values[split:hi])
+        cost = sum(abs(v - before) for v in values[lo:split]) + sum(
+            abs(v - after) for v in values[split:hi]
+        )
+        shift = _relative_shift(before, after)
+        if cost < best_cost or (cost == best_cost and shift > best[1]):
+            best = (split, shift, before, after)
+            best_cost = cost
+    return best
+
+
+def _find_steps(
+    values: Sequence[float],
+    lo: int,
+    hi: int,
+    *,
+    step_threshold: float,
+    min_seg: int,
+    out: List[Tuple[int, float, float, float]],
+) -> None:
+    """Recursively collect significant steps inside ``values[lo:hi]``."""
+    split = _best_split(values, lo, hi, min_seg)
+    if split is None:
+        return
+    index, shift, before, after = split
+    if shift <= step_threshold:
+        return
+    # Require the shift to dominate within-segment noise, else a noisy
+    # trend fabricates steps everywhere.
+    spread = max(
+        _mad(values[lo:index], before), _mad(values[index:hi], after)
+    )
+    if abs(after - before) <= 3.0 * _MAD_SIGMA * spread:
+        return
+    out.append(split)
+    _find_steps(
+        values, lo, index,
+        step_threshold=step_threshold, min_seg=min_seg, out=out,
+    )
+    _find_steps(
+        values, index, hi,
+        step_threshold=step_threshold, min_seg=min_seg, out=out,
+    )
+
+
+def detect_series_anomalies(
+    key: SeriesKey,
+    points: Sequence[SeriesPoint],
+    *,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    step_threshold: float = DEFAULT_STEP_THRESHOLD,
+    min_points: int = DEFAULT_MIN_POINTS,
+) -> List[SentinelAnomaly]:
+    """Steps then per-segment outliers for one series."""
+    n = len(points)
+    if n < min_points:
+        return []
+    values = [p.value for p in points]
+    min_seg = max(2, min_points // 2)
+
+    steps: List[Tuple[int, float, float, float]] = []
+    _find_steps(
+        values, 0, n,
+        step_threshold=step_threshold, min_seg=min_seg, out=steps,
+    )
+    anomalies: List[SentinelAnomaly] = []
+    boundaries = sorted(index for index, _, _, _ in steps)
+    for index, shift, before, after in steps:
+        anomalies.append(
+            SentinelAnomaly(
+                key=key,
+                kind=KIND_STEP,
+                point=points[index],
+                baseline=before,
+                score=shift,
+                direction="regression" if after > before else "improvement",
+            )
+        )
+
+    # Outliers within step-stable segments: a step already explains its
+    # own level shift, so score each segment against itself.
+    segments = []
+    lo = 0
+    for boundary in boundaries + [n]:
+        if boundary > lo:
+            segments.append((lo, boundary))
+        lo = boundary
+    for lo, hi in segments:
+        segment = values[lo:hi]
+        if len(segment) < min_points:
+            continue
+        center = _median(segment)
+        spread = _MAD_SIGMA * _mad(segment, center)
+        if spread <= 0:
+            # Perfectly flat segment: any departure is infinitely
+            # surprising; flag only meaningful relative departures.
+            for i in range(lo, hi):
+                if center > 0 and _relative_shift(center, values[i]) > step_threshold:
+                    anomalies.append(
+                        SentinelAnomaly(
+                            key=key,
+                            kind=KIND_OUTLIER,
+                            point=points[i],
+                            baseline=center,
+                            score=float("inf"),
+                            direction=(
+                                "regression"
+                                if values[i] > center
+                                else "improvement"
+                            ),
+                        )
+                    )
+            continue
+        for i in range(lo, hi):
+            z = abs(values[i] - center) / spread
+            if z > z_threshold:
+                anomalies.append(
+                    SentinelAnomaly(
+                        key=key,
+                        kind=KIND_OUTLIER,
+                        point=points[i],
+                        baseline=center,
+                        score=z,
+                        direction=(
+                            "regression"
+                            if values[i] > center
+                            else "improvement"
+                        ),
+                    )
+                )
+    return anomalies
+
+
+def run_sentinel(
+    records: Iterable[RunRecord],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    step_threshold: float = DEFAULT_STEP_THRESHOLD,
+    min_points: int = DEFAULT_MIN_POINTS,
+) -> SentinelReport:
+    """Sweep a ledger's history and rank every anomaly found."""
+    if min_points < 4:
+        raise ReproError(
+            f"sentinel needs min_points >= 4 to split a series, "
+            f"got {min_points}"
+        )
+    series = extract_series(records, metrics=metrics)
+    anomalies: List[SentinelAnomaly] = []
+    skipped = 0
+    points_scanned = 0
+    for key, points in sorted(series.items(), key=lambda kv: kv[0].label()):
+        points_scanned += len(points)
+        if len(points) < min_points:
+            skipped += 1
+            continue
+        anomalies.extend(
+            detect_series_anomalies(
+                key,
+                points,
+                z_threshold=z_threshold,
+                step_threshold=step_threshold,
+                min_points=min_points,
+            )
+        )
+    anomalies.sort(
+        key=lambda a: (
+            0 if a.direction == "regression" else 1,
+            0 if a.kind == KIND_STEP else 1,
+            -(a.score if a.score != float("inf") else 1e18),
+        )
+    )
+    return SentinelReport(
+        series_scanned=len(series),
+        points_scanned=points_scanned,
+        skipped_series=skipped,
+        anomalies=anomalies,
+        z_threshold=z_threshold,
+        step_threshold=step_threshold,
+        min_points=min_points,
+    )

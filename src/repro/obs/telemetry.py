@@ -103,8 +103,33 @@ class RunTelemetry:
     #: :mod:`repro.obs` never imports :mod:`repro.faults`), rendered on
     #: the Perfetto faults track.
     recovery_decisions: Tuple[object, ...] = ()
+    #: Phase-observatory audit (``PhaseAuditReport.as_dict()``),
+    #: attached by :func:`repro.obs.phase_audit.audit_phases` callers —
+    #: the Perfetto exporter renders it as a per-phase divergence
+    #: track and ``metrics_dict`` embeds it.
+    phase_audit: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
+    def phase_windows(self) -> Dict[int, Tuple[float, float]]:
+        """Observed ``(start, end)`` per effective phase.
+
+        The union of flow lifetimes (authoritative — flows are never
+        capped) and trace spans (which see sync and post events the
+        flows do not), keyed by the effective round the collector
+        stamps on :class:`~repro.obs.link_metrics.FlowRecord`.
+        """
+        windows: Dict[int, Tuple[float, float]] = {}
+        for flow in self.links.flows:
+            lo, hi = windows.get(flow.phase, (flow.start, flow.end))
+            windows[flow.phase] = (min(lo, flow.start), max(hi, flow.end))
+        for phase, (lo, hi) in self.trace.phase_spans().items():
+            if phase in windows:
+                wlo, whi = windows[phase]
+                windows[phase] = (min(wlo, lo), max(whi, hi))
+            else:
+                windows[phase] = (lo, hi)
+        return dict(sorted(windows.items()))
+
     @property
     def contention_free_verified(self) -> bool:
         return self.links.contention_free
@@ -146,6 +171,8 @@ class RunTelemetry:
             data["attribution"] = dict(self.attribution)
         if self.stats is not None:
             data["stats"] = dict(self.stats)
+        if self.phase_audit is not None:
+            data["phase_audit"] = dict(self.phase_audit)
         if self.fault_stats is not None:
             data["faults"] = {
                 "windows": [

@@ -178,3 +178,50 @@ class TestAttributionSweep:
         assert "--" in text
         assert small_result.points[0].attribution is None
         assert small_result.points[0].dominant_component is None
+
+
+class TestPhaseAuditSweep:
+    """Instrumented sweeps carry the phase observatory's verdict."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        from repro.topology.builder import chain_of_switches
+
+        from repro.sim.params import NetworkParams
+
+        return run_experiment(
+            "unit-phase",
+            chain_of_switches([3, 3]),
+            [LamAlltoall(), GeneratedAlltoall()],
+            message_size_sweep([kib(64)], repetitions=1),
+            NetworkParams().without_noise(),
+            telemetry=True,
+        )
+
+    def test_scheduled_cell_is_clean(self, instrumented):
+        point = instrumented.cell("generated", kib(64))
+        assert point.phase_audit is not None
+        assert point.phase_audit["clean"] is True
+        assert point.phase_audit["violations"] == 0
+        assert point.worst_phase_divergence == 0.0
+
+    def test_naive_cell_shows_contention(self, instrumented):
+        point = instrumented.cell("lam", kib(64))
+        assert point.phase_audit is not None
+        assert point.phase_audit["clean"] is False
+        assert point.phase_audit["contention_events"] > 0
+
+    def test_phase_audit_table_renders(self, instrumented):
+        from repro.harness.report import phase_audit_table
+
+        text = phase_audit_table(instrumented)
+        assert "phase audit" in text
+        assert "ok 0.0%" in text
+        assert "contended" in text
+
+    def test_uninstrumented_cells_have_no_audit(self, small_result):
+        from repro.harness.report import phase_audit_table
+
+        assert small_result.points[0].phase_audit is None
+        assert small_result.points[0].worst_phase_divergence is None
+        assert "--" in phase_audit_table(small_result)

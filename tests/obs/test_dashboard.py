@@ -142,3 +142,70 @@ def test_write_dashboard(tmp_path, records):
     write_dashboard(records, path, title="T")
     text = open(path, encoding="utf-8").read()
     assert text == render_dashboard(records, title="T")
+
+
+def _phase_audit(clean=True):
+    return {
+        "schema": 1,
+        "num_phases": 2,
+        "violations": 0 if clean else 1,
+        "divergent_rows": 0 if clean else 3,
+        "contention_events": 0 if clean else 8,
+        "max_occupancy_deviation": 0.0,
+        "worst_duration_ratio": 1.2,
+        "clean": clean,
+        "phase_verdicts": {
+            "0": "ok",
+            "1": "ok" if clean else "contention-violation",
+        },
+    }
+
+
+class TestPhaseHeatmapPanel:
+    def _records(self):
+        records = [_record(i, "fp-aaaa", ["generated"]) for i in (1, 2)]
+        records[0].algorithms["generated"].phase_audit = _phase_audit()
+        records[1].algorithms["generated"].phase_audit = _phase_audit(
+            clean=False
+        )
+        return records
+
+    def test_heatmap_renders_verdict_cells(self):
+        html = render_dashboard(self._records())
+        assert "Phase-audit verdicts" in html
+        assert "contention-violation" in html
+        assert "phase 1: contention-violation" in html
+
+    def test_absent_without_audits(self, records):
+        assert "Phase-audit verdicts" not in render_dashboard(records)
+
+
+class TestSentinelPanel:
+    def _step_records(self):
+        records = []
+        for i in range(20):
+            record = _record(1, "fp-step", ["generated"])
+            entry = record.algorithms["generated"]
+            entry.completion_time_ms = 70.0
+            entry.scheduler_runtime_ms = 10.0 if i >= 12 else 5.0
+            entry.attribution = None
+            entry.stats = None
+            record.run_id = f"run-{i:03d}"
+            records.append(record)
+        return records
+
+    def test_anomaly_timeline_rendered(self):
+        html = render_dashboard(self._step_records())
+        assert "Sentinel timeline" in html
+        assert "step" in html
+        assert "run-012" in html
+
+    def test_quiet_history_reports_no_anomalies(self, records):
+        html = render_dashboard(records)
+        assert "Sentinel: no anomalies" in html
+        assert "Sentinel timeline" not in html
+
+    def test_dashboard_still_self_contained(self):
+        html = render_dashboard(self._step_records())
+        for forbidden in ("<script src=", "<link ", "fetch(", "http://"):
+            assert forbidden not in html

@@ -450,3 +450,68 @@ class TestFaultPartitions:
         (loaded,) = ledger.records()
         entry = loaded.algorithms["generated"]
         assert entry.attribution["dominant_component"] == "startup"
+
+
+class TestHistorySweeps:
+    """Edge cases for whole-history readers (sentinel, dashboard)."""
+
+    def test_single_entry_history_is_healthy(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        only = make_record(generated={"completion_time_ms": 70.0})
+        ledger.append(only)
+        assert ledger.find("latest").run_id == only.run_id
+        (loaded,) = ledger.records(skip_unreadable=True)
+        assert loaded.run_id == only.run_id
+
+    def test_mixed_schema_versions_tolerant_read(self, tmp_path, caplog):
+        """A future-schema record aborts a strict read but is skipped
+        (with a warning) by the tolerant mode history sweeps use."""
+        ledger = RunLedger(str(tmp_path / "led"))
+        old = make_record(generated={"completion_time_ms": 1.0})
+        ledger.append(old)
+        future = make_record(generated={"completion_time_ms": 2.0}).as_dict()
+        future["schema"] = LEDGER_SCHEMA_VERSION + 1
+        with open(ledger.path, "a") as fh:
+            fh.write(json.dumps(future) + "\n")
+        new = make_record(generated={"completion_time_ms": 3.0})
+        ledger.append(new)
+
+        with pytest.raises(ReproError, match="upgrade repro"):
+            ledger.records()
+        with caplog.at_level("WARNING", logger="repro.obs.ledger"):
+            records = ledger.records(skip_unreadable=True)
+        assert [r.run_id for r in records] == [old.run_id, new.run_id]
+        assert any("skipping" in m for m in caplog.messages)
+
+    def test_tolerant_read_skips_corrupt_mid_file_line(
+        self, tmp_path, caplog
+    ):
+        ledger = RunLedger(str(tmp_path / "led"))
+        a = make_record(generated={"completion_time_ms": 1.0})
+        ledger.append(a)
+        with open(ledger.path, "a") as fh:
+            fh.write("{not json\n")
+        b = make_record(generated={"completion_time_ms": 2.0})
+        ledger.append(b)
+
+        with pytest.raises(ReproError, match="line 2"):
+            ledger.records()
+        with caplog.at_level("WARNING", logger="repro.obs.ledger"):
+            records = ledger.records(skip_unreadable=True)
+        assert [r.run_id for r in records] == [a.run_id, b.run_id]
+
+    def test_corrupt_trailing_line_and_find_latest(self, tmp_path, caplog):
+        """A torn final append must not change which run is "latest":
+        the last *intact* record wins, in both read modes."""
+        ledger = RunLedger(str(tmp_path / "led"))
+        a = make_record(generated={"completion_time_ms": 1.0})
+        b = make_record(generated={"completion_time_ms": 2.0})
+        ledger.append(a)
+        ledger.append(b)
+        with open(ledger.path, "a") as fh:
+            fh.write('{"schema": 1, "torn...')
+        with caplog.at_level("WARNING", logger="repro.obs.ledger"):
+            assert ledger.find("latest").run_id == b.run_id
+            tolerant = ledger.records(skip_unreadable=True)
+        assert [r.run_id for r in tolerant] == [a.run_id, b.run_id]
+        assert any("corrupt trailing line" in m for m in caplog.messages)

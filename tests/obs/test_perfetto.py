@@ -152,3 +152,48 @@ class TestCriticalPathTrack:
     def test_trace_still_json_serializable(self, causal_events):
         _, telemetry = causal_events
         json.dumps(perfetto_trace(telemetry))
+
+
+class TestPhaseAuditTrack:
+    @pytest.fixture(scope="class")
+    def audited_events(self):
+        from repro.obs.phase_audit import audit_phases
+
+        topo = paper_example_cluster()
+        msize = kib(64)
+        programs = get_algorithm("scheduled").build_programs(topo, msize)
+        run = run_programs(
+            topo, programs, msize,
+            NetworkParams().without_noise(), telemetry=True,
+        )
+        audit = audit_phases(run.telemetry, topo, programs)
+        run.telemetry.phase_audit = audit.as_dict()
+        return perfetto_events(run.telemetry), audit
+
+    def test_track_absent_without_audit(self, events):
+        assert not [e for e in events if e.get("pid") == 8]
+
+    def test_one_slice_per_phase_window(self, audited_events):
+        events, audit = audited_events
+        slices = [
+            e for e in events if e.get("pid") == 8 and e.get("ph") == "X"
+        ]
+        assert len(slices) == len(audit.windows)
+        for event in slices:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["args"]["verdict"] in (
+                "ok", "divergent", "contention-violation", "unobserved"
+            )
+            assert event["args"]["contention_events"] == 0
+
+    def test_track_metadata_and_serializable(self, audited_events):
+        events, _ = audited_events
+        meta = [
+            e for e in events
+            if e.get("pid") == 8 and e.get("ph") == "M"
+        ]
+        assert any(
+            e["args"].get("name") == "phase audit" for e in meta
+        )
+        json.dumps(events)

@@ -1,0 +1,241 @@
+"""Regression sentinel: anomaly detection over ledger time series."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs.ledger import AlgorithmEntry, RunLedger, RunRecord
+from repro.obs.sentinel import (
+    KIND_OUTLIER,
+    KIND_STEP,
+    SeriesKey,
+    detect_series_anomalies,
+    extract_series,
+    run_sentinel,
+)
+
+
+def record(i, *, fingerprint="abc123", fault=None, **metrics):
+    """One deterministic ledger record for run index *i*."""
+    metrics.setdefault("completion_time_ms", 70.0)
+    return RunRecord(
+        run_id=f"run-{i:03d}",
+        timestamp=f"2026-08-{i + 1:02d}T00:00:00Z",
+        command="simulate",
+        topology_spec="fig1",
+        topology_fingerprint=fingerprint,
+        num_machines=6,
+        msize=65536,
+        params={"seed": 0},
+        algorithms={"generated": AlgorithmEntry(**metrics)},
+        fault_plan=fault,
+    )
+
+
+def step_history(n=20, step_at=12, factor=2.0):
+    """Completion flat; scheduler runtime steps by *factor* at *step_at*."""
+    records = []
+    for i in range(n):
+        runtime = 5.0 * (factor if i >= step_at else 1.0)
+        records.append(
+            record(
+                i,
+                completion_time_ms=70.0 + 0.01 * (i % 3),
+                scheduler_runtime_ms=runtime + 0.01 * (i % 2),
+            )
+        )
+    return records
+
+
+class TestExtractSeries:
+    def test_series_are_partitioned_and_ordered(self):
+        records = step_history(6)
+        series = extract_series(records)
+        keys = {k.metric for k in series}
+        assert keys == {"completion_time_ms", "scheduler_runtime_ms"}
+        (points,) = [
+            p for k, p in series.items() if k.metric == "completion_time_ms"
+        ]
+        assert [p.index for p in points] == list(range(6))
+        assert points[0].run_id == "run-000"
+
+    def test_fault_partitions_never_mix(self):
+        records = [record(0, scheduler_runtime_ms=5.0)] + [
+            record(
+                1,
+                fault={"name": "chaos", "fingerprint": "f00d"},
+                scheduler_runtime_ms=50.0,
+            )
+        ]
+        series = extract_series(records)
+        faults = {k.fault_fingerprint for k in series}
+        assert faults == {None, "f00d"}
+        assert all(len(points) == 1 for points in series.values())
+        assert len(series) == 4  # 2 metrics x 2 partitions, never merged
+
+    def test_attribution_components_become_series(self):
+        records = [
+            record(
+                i,
+                completion_time_ms=70.0,
+                attribution={"components_ms": {"sync_wait": 1.0 + i}},
+            )
+            for i in range(3)
+        ]
+        series = extract_series(records)
+        assert any(
+            k.metric == "attribution.sync_wait_ms" for k in series
+        )
+
+
+class TestDetectors:
+    KEY = SeriesKey("abc123", None, "generated", "scheduler_runtime_ms")
+
+    def test_detects_2x_step_in_20_entry_history(self):
+        report = run_sentinel(step_history())
+        steps = [a for a in report.anomalies if a.kind == KIND_STEP]
+        assert len(steps) == 1
+        (step,) = steps
+        assert step.key.metric == "scheduler_runtime_ms"
+        assert step.point.run_id == "run-012"
+        assert step.direction == "regression"
+        assert step.ratio == pytest.approx(2.0, rel=0.05)
+        # The flat completion series must not produce false positives.
+        assert all(
+            a.key.metric == "scheduler_runtime_ms" for a in report.anomalies
+        )
+
+    def test_improvement_step_is_not_a_regression(self):
+        report = run_sentinel(step_history(factor=0.4))
+        steps = [a for a in report.anomalies if a.kind == KIND_STEP]
+        assert steps and all(s.direction == "improvement" for s in steps)
+        assert not report.regressions
+
+    def test_flat_series_spike_is_an_infinite_outlier(self):
+        points = extract_series(
+            [
+                record(i, scheduler_runtime_ms=100.0 if i == 7 else 5.0)
+                for i in range(10)
+            ]
+        )
+        (series,) = [
+            p for k, p in points.items()
+            if k.metric == "scheduler_runtime_ms"
+        ]
+        anomalies = detect_series_anomalies(self.KEY, series)
+        outliers = [a for a in anomalies if a.kind == KIND_OUTLIER]
+        assert len(outliers) == 1
+        assert outliers[0].score == float("inf")
+        assert outliers[0].point.run_id == "run-007"
+        assert outliers[0].direction == "regression"
+
+    def test_noisy_trend_does_not_fabricate_steps(self):
+        # High-variance noise around a stable level: any split's median
+        # shift drowns in within-segment spread, so the MAD noise guard
+        # must keep the step detector quiet.
+        noise = [
+            0.0, 1.6, -0.6, 1.2, -0.3, 1.9, -0.5, 1.4, 0.1, 1.8,
+            -0.4, 1.3, -0.1, 1.7, -0.2, 1.5, 0.2, 1.1, -0.7, 1.0,
+        ]
+        records = [
+            record(i, scheduler_runtime_ms=1.0 + noise[i])
+            for i in range(20)
+        ]
+        report = run_sentinel(records)
+        assert [a for a in report.anomalies if a.kind == KIND_STEP] == []
+
+    def test_noise_does_not_drag_the_boundary(self):
+        # Small wiggles on both levels: the changepoint must land on
+        # the true boundary, not on a wiggle that happens to maximize
+        # the median shift.
+        records = []
+        for i in range(20):
+            base = 10.0 if i >= 12 else 5.0
+            records.append(
+                record(i, scheduler_runtime_ms=base + 0.01 * (i % 2))
+            )
+        report = run_sentinel(records)
+        steps = [a for a in report.anomalies if a.kind == KIND_STEP]
+        assert [s.point.run_id for s in steps] == ["run-012"]
+
+    def test_short_series_is_skipped_not_anomalous(self):
+        report = run_sentinel([record(0, completion_time_ms=70.0)])
+        assert report.anomalies == []
+        assert report.skipped_series == report.series_scanned == 1
+
+    def test_min_points_validated(self):
+        with pytest.raises(ReproError):
+            run_sentinel([], min_points=3)
+
+    def test_report_is_json_serializable(self):
+        report = run_sentinel(step_history())
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["schema"] == 1
+        assert data["anomalies"]
+        assert data["thresholds"]["min_points"] == 5
+
+
+class TestSentinelCLI:
+    def _write_ledger(self, tmp_path, records):
+        ledger = RunLedger(str(tmp_path / "led"))
+        for rec in records:
+            ledger.append(rec)
+        return ledger
+
+    def test_fail_on_anomaly_exits_nonzero_on_step(self, tmp_path, capsys):
+        self._write_ledger(tmp_path, step_history())
+        rc = main([
+            "report", "sentinel",
+            "--ledger-dir", str(tmp_path / "led"),
+            "--fail-on-anomaly",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "step to" in out and "run-012" in out
+
+    def test_clean_history_exits_zero(self, tmp_path, capsys):
+        self._write_ledger(
+            tmp_path,
+            [record(i, completion_time_ms=70.0) for i in range(8)],
+        )
+        rc = main([
+            "report", "sentinel",
+            "--ledger-dir", str(tmp_path / "led"),
+            "--fail-on-anomaly",
+        ])
+        assert rc == 0
+        assert "no anomalies" in capsys.readouterr().out
+
+    def test_json_out_artifact(self, tmp_path):
+        self._write_ledger(tmp_path, step_history())
+        out = tmp_path / "sentinel.json"
+        rc = main([
+            "report", "sentinel",
+            "--ledger-dir", str(tmp_path / "led"),
+            "--json-out", str(out),
+        ])
+        assert rc == 0  # without --fail-on-anomaly the scan only reports
+        data = json.loads(out.read_text())
+        assert data["anomalies"]
+        assert data["anomalies"][0]["run_id"] == "run-012"
+
+    def test_fingerprint_filter(self, tmp_path, capsys):
+        self._write_ledger(
+            tmp_path,
+            step_history() + [
+                record(
+                    i, fingerprint="fff999", completion_time_ms=70.0
+                )
+                for i in range(6)
+            ],
+        )
+        rc = main([
+            "report", "sentinel",
+            "--ledger-dir", str(tmp_path / "led"),
+            "--fingerprint", "fff",
+            "--fail-on-anomaly",
+        ])
+        assert rc == 0
+        assert "no anomalies" in capsys.readouterr().out

@@ -92,7 +92,7 @@ class TestPackageSurface:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_error_hierarchy(self):
         assert issubclass(repro.TopologyError, repro.ReproError)

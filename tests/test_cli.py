@@ -780,3 +780,138 @@ class TestLoggingIdempotent:
                 root.addHandler(handler)
             root.propagate = saved[1]
             root.level = saved[2]
+
+
+class TestPhasesCommand:
+    """`repro-aapc phases`: the predicted-vs-observed phase audit."""
+
+    @pytest.fixture
+    def two_switch_file(self, tmp_path):
+        from repro.topology.builder import chain_of_switches
+
+        path = tmp_path / "two-switch.topo"
+        path.write_text(dumps_topology(chain_of_switches([3, 3])))
+        return str(path)
+
+    def test_scheduled_passes_the_gate(self, two_switch_file, capsys):
+        assert main([
+            "phases", two_switch_file, "--algorithm", "scheduled",
+            "--msize", "64KB", "--no-noise", "--no-ledger",
+            "--max-divergence", "10%",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase audit:" in out
+        assert "verdict: OK" in out
+
+    def test_lam_is_reported_divergent(self, two_switch_file, capsys):
+        # Contention in an *uncertified* round is divergence, not a
+        # Theorem violation, so it informs rather than gates.
+        assert main([
+            "phases", two_switch_file, "--algorithm", "lam",
+            "--msize", "64KB", "--no-noise", "--no-ledger",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "divergent" in out
+        assert "violation(s)" in out
+
+    def test_artifacts_and_ledger_entry(
+        self, two_switch_file, tmp_path, capsys
+    ):
+        import json
+
+        audit_json = tmp_path / "audit.json"
+        trace_json = tmp_path / "trace.json"
+        ledger_dir = tmp_path / "led"
+        assert main([
+            "phases", two_switch_file, "--algorithm", "scheduled",
+            "--msize", "64KB", "--no-noise",
+            "--ledger-dir", str(ledger_dir),
+            "--json-out", str(audit_json),
+            "--trace-out", str(trace_json),
+        ]) == 0
+        capsys.readouterr()
+        audit = json.loads(audit_json.read_text())
+        assert audit["summary"]["clean"] is True
+        assert audit["summary"]["violations"] == 0
+        events = json.loads(trace_json.read_text())["traceEvents"]
+        assert any(e.get("pid") == 8 for e in events)
+
+        from repro.obs.ledger import RunLedger
+
+        (record,) = RunLedger(str(ledger_dir)).records()
+        assert record.command == "phases"
+        (entry,) = record.algorithms.values()
+        assert entry.phase_audit["clean"] is True
+
+    def test_bad_tolerance_rejected(self, two_switch_file, capsys):
+        assert main([
+            "phases", two_switch_file, "--no-ledger",
+            "--tolerance", "nonsense",
+        ]) == 2
+        assert "bad threshold" in capsys.readouterr().err
+
+
+class TestReportJson:
+    def _seed_ledger(self, tmp_path, factor=2.0):
+        from repro.obs.ledger import AlgorithmEntry, RunLedger, RunRecord
+
+        ledger = RunLedger(str(tmp_path / "led"))
+        records = []
+        for ms in (10.0, 10.0 * factor):
+            record = RunRecord.new(
+                "simulate",
+                topology_spec="fig1",
+                topology_fingerprint="abc123",
+                num_machines=6,
+                msize=65536,
+                params={},
+                algorithms={
+                    "generated": AlgorithmEntry(completion_time_ms=ms)
+                },
+            )
+            ledger.append(record)
+            records.append(record)
+        return ledger, records
+
+    def test_compare_json(self, tmp_path, capsys):
+        import json
+
+        _, (a, b) = self._seed_ledger(tmp_path)
+        assert main([
+            "report", "compare", "--ledger-dir", str(tmp_path / "led"),
+            a.run_id, b.run_id, "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["baseline"] == a.run_id
+        assert data["current"] == b.run_id
+        (delta,) = data["deltas"]
+        assert delta["metric"] == "completion_time_ms"
+        assert delta["ratio"] == pytest.approx(2.0)
+
+    def test_regress_json_flags_the_regression(self, tmp_path, capsys):
+        import json
+
+        _, (a, b) = self._seed_ledger(tmp_path)
+        assert main([
+            "report", "regress", "--ledger-dir", str(tmp_path / "led"),
+            "--baseline", a.run_id, "--run", b.run_id,
+            "--threshold", "5%", "--json",
+        ]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["regressions"] == 1
+        (delta,) = data["deltas"]
+        assert delta["regression"] is True
+
+    def test_regress_json_ok_within_threshold(self, tmp_path, capsys):
+        import json
+
+        _, (a, b) = self._seed_ledger(tmp_path, factor=1.01)
+        assert main([
+            "report", "regress", "--ledger-dir", str(tmp_path / "led"),
+            "--baseline", a.run_id, "--run", b.run_id,
+            "--threshold", "5%", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["regressions"] == 0

@@ -1,0 +1,18 @@
+"""The package version has exactly one source of truth (modulo the
+packaging metadata, which must agree with it)."""
+
+import pathlib
+import tomllib
+
+from repro import __version__
+
+
+def test_pyproject_version_matches_package():
+    pyproject = pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+    meta = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    assert meta["project"]["version"] == __version__
+
+
+def test_version_shape():
+    major, minor, patch = __version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))
